@@ -1,0 +1,94 @@
+// cycle_decomposition_demo — reproduces Fig. 1 of the paper: the hypercube
+// decomposed into node-disjoint (Gray-code) cycles connected by matchings,
+// the structure Yang's algorithm [27] diagnoses from.
+//
+// Shows the 2^{n-m} cycles of Q_n, verifies the matchings between cycles
+// whose indices differ in one bit, runs Yang's diagnosis on an injected
+// fault set, and emits fig1.dot for a small instance.
+//
+// Usage: cycle_decomposition_demo [n]
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "baselines/yang_cycle.hpp"
+#include "graph/dot.hpp"
+#include "mm/injector.hpp"
+#include "topology/hypercube.hpp"
+#include "util/rng.hpp"
+
+using namespace mmdiag;
+
+int main(int argc, char** argv) {
+  const unsigned n = argc > 1 ? std::stoul(argv[1]) : 7;
+  const Hypercube topo(n);
+  const Graph graph = topo.build_graph();
+  YangCycleDiagnoser yang(topo, graph);
+  const unsigned m = yang.subcube_dim();
+  const Node len = Node{1} << m;
+
+  std::cout << "Fig. 1 — " << topo.info().name << " decomposes into "
+            << yang.num_cycles() << " node-disjoint cycles of length " << len
+            << " (Gray codes of its Q_" << m << " sub-cubes),\nconnected by "
+            << "perfect matchings in the shape of Q_" << (n - m) << ".\n\n";
+
+  std::cout << "cycle 0: ";
+  for (Node t = 0; t < len; ++t) {
+    std::cout << topo.node_label(yang.cycle_node(0, t)) << " ";
+  }
+  std::cout << "(back to start)\n";
+
+  // Verify the matchings: cycles c and c^2^j are joined by a perfect
+  // matching (the dimension m+j edges), exactly the dotted edges of Fig. 1.
+  std::size_t matchings = 0;
+  for (std::size_t c = 0; c < yang.num_cycles(); ++c) {
+    for (unsigned j = 0; j < n - m; ++j) {
+      const std::size_t other = c ^ (std::size_t{1} << j);
+      if (other < c) continue;
+      for (Node t = 0; t < len; ++t) {
+        const Node u = yang.cycle_node(c, t);
+        const Node v = u ^ (Node{1} << (m + j));
+        if (!graph.has_edge(u, v)) {
+          std::cerr << "matching edge missing!\n";
+          return 1;
+        }
+      }
+      ++matchings;
+    }
+  }
+  std::cout << "verified " << matchings << " perfect matchings between cycles.\n\n";
+
+  // Yang's diagnosis over this decomposition.
+  Rng rng(3);
+  const FaultSet faults(graph.num_nodes(),
+                        inject_uniform(graph.num_nodes(), n, rng));
+  const LazyOracle oracle(graph, faults, FaultyBehavior::kRandom, 1);
+  const auto result = yang.diagnose(oracle);
+  std::cout << "Yang's algorithm scanned " << result.probes
+            << " cycle(s) before finding an all-healthy one (cycle "
+            << result.certified_component << "), then classified every node: "
+            << (result.success && result.faults == faults.nodes()
+                    ? "exact diagnosis ✓"
+                    : "MISMATCH ✗")
+            << "\n";
+
+  // Figure export for Q_4-style visual (4 cycles joined in a 4-cycle, as in
+  // the paper's figure) — use the smallest decomposable case.
+  const Hypercube small(7);
+  const Graph small_graph = small.build_graph();
+  YangCycleDiagnoser small_yang(small, small_graph);
+  DotStyle style;
+  style.label = [&](Node v) { return small.node_label(v); };
+  const Node small_len = Node{1} << small_yang.subcube_dim();
+  for (std::size_t c = 0; c < 4; ++c) {  // first four cycles only
+    for (Node t = 0; t < small_len; ++t) {
+      style.bold_edges.emplace_back(
+          small_yang.cycle_node(c, t),
+          small_yang.cycle_node(c, (t + 1) & (small_len - 1)));
+    }
+  }
+  std::ofstream out("fig1.dot");
+  write_dot(out, small_graph, style);
+  std::cout << "wrote fig1.dot (cycles of Q_7 emphasised)\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// star_network_diagnosis — comparing three diagnosis strategies on a star
+// graph cluster, the second family the paper (and Chiang-Tan) showcase.
+//
+// Scenario: a 7-star (5040 nodes, the permutation-network alternative to the
+// hypercube) suffers a burst of up to 6 faults. We diagnose the same
+// syndrome three ways and compare cost:
+//   1. the paper's Set_Builder driver,
+//   2. our reconstruction of Chiang-Tan's per-node extended-star rule,
+//   3. exhaustive search (on a sub-star small enough to afford it).
+//
+// Usage: star_network_diagnosis [faults] [seed]
+#include <iostream>
+#include <string>
+
+#include "baselines/brute_force.hpp"
+#include "baselines/chiang_tan.hpp"
+#include "core/diagnoser.hpp"
+#include "mm/injector.hpp"
+#include "topology/star_graph.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace mmdiag;
+
+int main(int argc, char** argv) {
+  const unsigned n = 7;
+  const std::size_t fault_count =
+      argc > 1 ? std::stoul(argv[1]) : (n - 1);  // delta = n-1
+  const std::uint64_t seed = argc > 2 ? std::stoull(argv[2]) : 11;
+
+  const StarGraph topo(n);
+  const Graph graph = topo.build_graph();
+  std::cout << "star graph " << topo.info().name << ": " << graph.num_nodes()
+            << " nodes (permutations of 1.." << n << "), degree " << n - 1
+            << ", diagnosability " << topo.info().diagnosability << "\n\n";
+
+  Rng rng(seed);
+  const FaultSet faults(graph.num_nodes(),
+                        inject_uniform(graph.num_nodes(), fault_count, rng));
+  std::cout << "injected " << faults.size() << " faults, e.g. ";
+  for (std::size_t i = 0; i < std::min<std::size_t>(3, faults.size()); ++i) {
+    std::cout << "[" << topo.node_label(faults.nodes()[i]) << "] ";
+  }
+  std::cout << "...\n\n";
+
+  Table table({"algorithm", "time_ms", "syndrome look-ups", "exact"});
+
+  {  // 1. Set_Builder driver.
+    Diagnoser diagnoser(topo, graph);
+    const LazyOracle oracle(graph, faults, FaultyBehavior::kRandom, seed);
+    Timer timer;
+    const auto result = diagnoser.diagnose(oracle);
+    table.add_row({"set_builder (paper)", Table::num(timer.millis(), 3),
+                   Table::num(result.lookups),
+                   result.success && result.faults == faults.nodes() ? "yes"
+                                                                     : "NO"});
+  }
+  {  // 2. Chiang-Tan per-node extended stars.
+    const auto ct = ChiangTanDiagnoser::for_star_graph(topo, graph);
+    const LazyOracle oracle(graph, faults, FaultyBehavior::kRandom, seed);
+    Timer timer;
+    const auto result = ct.diagnose(oracle);
+    table.add_row({"chiang_tan (local)", Table::num(timer.millis(), 3),
+                   Table::num(result.lookups),
+                   result.success && result.faults == faults.nodes() ? "yes"
+                                                                     : "NO"});
+  }
+  {  // 3. Brute force, on S_4 (24 nodes) where enumeration is feasible.
+    const StarGraph small(4);
+    const Graph small_graph = small.build_graph();
+    Rng rng2(seed);
+    const FaultSet small_faults(
+        small_graph.num_nodes(),
+        inject_uniform(small_graph.num_nodes(), 3, rng2));
+    const LazyOracle oracle(small_graph, small_faults, FaultyBehavior::kRandom,
+                            seed);
+    Timer timer;
+    const auto result = brute_force_diagnose(small_graph, oracle, 3);
+    table.add_row({"brute_force (on S4)", Table::num(timer.millis(), 3),
+                   Table::num(result.lookups),
+                   result.success && result.faults == small_faults.nodes()
+                       ? "yes"
+                       : "NO"});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nNote the look-up column: the Set_Builder driver reads a "
+               "small slice of the syndrome,\nthe per-node local rule reads "
+               "the table wholesale (§6 of the paper).\n";
+  return 0;
+}

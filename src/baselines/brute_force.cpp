@@ -1,0 +1,81 @@
+#include "baselines/brute_force.hpp"
+
+#include <stdexcept>
+
+#include "mm/fault_set.hpp"
+
+namespace mmdiag {
+namespace {
+
+bool consistent(const Graph& g, const SyndromeOracle& oracle,
+                const std::vector<bool>& faulty) {
+  const std::size_t n = g.num_nodes();
+  for (std::size_t u = 0; u < n; ++u) {
+    if (faulty[u]) continue;
+    const auto adj = g.neighbors(static_cast<Node>(u));
+    for (unsigned i = 0; i + 1 < adj.size(); ++i) {
+      const bool fi = faulty[adj[i]];
+      for (unsigned j = i + 1; j < adj.size(); ++j) {
+        if (oracle.test(static_cast<Node>(u), i, j) != (fi || faulty[adj[j]])) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+void enumerate(const Graph& g, const SyndromeOracle& oracle, unsigned delta,
+               std::size_t max_results, Node first, std::vector<Node>& current,
+               std::vector<bool>& faulty,
+               std::vector<std::vector<Node>>& results) {
+  if (consistent(g, oracle, faulty)) {
+    results.push_back(current);
+    if (results.size() > max_results) {
+      throw std::runtime_error("brute force: too many consistent candidates");
+    }
+  }
+  if (current.size() == delta) return;
+  for (Node v = first; v < g.num_nodes(); ++v) {
+    current.push_back(v);
+    faulty[v] = true;
+    enumerate(g, oracle, delta, max_results, v + 1, current, faulty, results);
+    faulty[v] = false;
+    current.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<Node>> brute_force_consistent_sets(
+    const Graph& g, const SyndromeOracle& oracle, unsigned delta,
+    std::size_t max_results) {
+  std::vector<std::vector<Node>> results;
+  std::vector<Node> current;
+  std::vector<bool> faulty(g.num_nodes(), false);
+  enumerate(g, oracle, delta, max_results, 0, current, faulty, results);
+  return results;
+}
+
+DiagnosisResult brute_force_diagnose(const Graph& g,
+                                     const SyndromeOracle& oracle,
+                                     unsigned delta) {
+  oracle.reset_lookups();
+  DiagnosisResult out;
+  const auto sets = brute_force_consistent_sets(g, oracle, delta);
+  out.lookups = oracle.lookups();
+  if (sets.size() == 1) {
+    out.success = true;
+    out.faults = sets.front();
+  } else if (sets.empty()) {
+    out.failure_reason = "no fault set of size <= delta is consistent";
+  } else {
+    out.failure_reason = "syndrome is ambiguous: " +
+                         std::to_string(sets.size()) +
+                         " consistent candidates (graph not delta-diagnosable "
+                         "for this delta, or |F| > delta)";
+  }
+  return out;
+}
+
+}  // namespace mmdiag

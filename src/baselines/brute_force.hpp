@@ -1,0 +1,31 @@
+// Exhaustive diagnosis by enumeration — the ground-truth oracle for tests.
+//
+// Enumerates every candidate fault set F' with |F'| <= delta and keeps those
+// consistent with the syndrome. On a δ-diagnosable graph with |F| <= δ
+// exactly one candidate survives; observing that uniqueness empirically is
+// itself a check of the published diagnosability values. Exponential in
+// delta — tiny graphs only.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/diagnoser.hpp"
+#include "graph/graph.hpp"
+#include "mm/oracle.hpp"
+#include "util/types.hpp"
+
+namespace mmdiag {
+
+/// All consistent candidate sets of size <= delta, each sorted ascending.
+/// Stops (throws std::runtime_error) if more than `max_results` accumulate.
+[[nodiscard]] std::vector<std::vector<Node>> brute_force_consistent_sets(
+    const Graph& g, const SyndromeOracle& oracle, unsigned delta,
+    std::size_t max_results = 64);
+
+/// Full diagnosis: succeeds iff exactly one consistent candidate exists.
+[[nodiscard]] DiagnosisResult brute_force_diagnose(const Graph& g,
+                                                   const SyndromeOracle& oracle,
+                                                   unsigned delta);
+
+}  // namespace mmdiag

@@ -1,0 +1,191 @@
+#include "baselines/exact_solver.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mmdiag {
+
+ExactSolver::ExactSolver(const Graph& graph, const SyndromeOracle& oracle,
+                         unsigned delta, std::uint64_t max_steps)
+    : graph_(&graph),
+      oracle_(&oracle),
+      delta_(delta),
+      max_steps_(max_steps),
+      state_(graph.num_nodes(), State::kUnknown) {}
+
+bool ExactSolver::assign(Node v, State s) {
+  if (state_[v] == s) return true;
+  if (state_[v] != State::kUnknown) return false;  // contradiction
+  state_[v] = s;
+  trail_.push_back(v);
+  queue_.push_back(v);
+  if (s == State::kFaulty) {
+    ++faulty_count_;
+    if (faulty_count_ > delta_) return false;  // budget exceeded
+  }
+  return true;
+}
+
+bool ExactSolver::propagate_tester(Node u) {
+  // u is healthy: every one of its pair tests is now binding.
+  const auto adj = graph_->neighbors(u);
+  for (unsigned i = 0; i + 1 < adj.size(); ++i) {
+    for (unsigned j = i + 1; j < adj.size(); ++j) {
+      if (++steps_ > max_steps_) {
+        throw std::runtime_error("ExactSolver: step limit exceeded");
+      }
+      const Node v = adj[i];
+      const Node w = adj[j];
+      if (!oracle_->test(u, i, j)) {
+        // 0-test: both subjects healthy.
+        if (!assign(v, State::kHealthy) || !assign(w, State::kHealthy)) {
+          return false;
+        }
+      } else {
+        // 1-test: at least one subject faulty.
+        if (state_[v] == State::kHealthy && !assign(w, State::kFaulty)) {
+          return false;
+        }
+        if (state_[w] == State::kHealthy && !assign(v, State::kFaulty)) {
+          return false;
+        }
+        // Both unknown (or one already faulty): nothing to do yet; the
+        // subject-side propagation revisits this pair when states change.
+      }
+    }
+  }
+  return true;
+}
+
+bool ExactSolver::propagate_subject(Node x) {
+  // x gained a decided state: revisit the tests of every already-healthy
+  // neighbour tester that involve x.
+  const bool x_faulty = state_[x] == State::kFaulty;
+  for (const Node u : graph_->neighbors(x)) {
+    if (state_[u] != State::kHealthy) continue;
+    const auto adj = graph_->neighbors(u);
+    const int xi = graph_->neighbor_position(u, x);
+    for (unsigned j = 0; j < adj.size(); ++j) {
+      if (static_cast<int>(j) == xi) continue;
+      if (++steps_ > max_steps_) {
+        throw std::runtime_error("ExactSolver: step limit exceeded");
+      }
+      const Node w = adj[j];
+      const bool one = oracle_->test(u, static_cast<unsigned>(xi), j);
+      if (!one) {
+        // 0-test: both subjects healthy — conflicts if x is faulty.
+        if (x_faulty) return false;
+        if (!assign(w, State::kHealthy)) return false;
+      } else if (!x_faulty) {
+        // 1-test with x healthy: the partner must be faulty.
+        if (!assign(w, State::kFaulty)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool ExactSolver::propagate() {
+  while (queue_head_ < queue_.size()) {
+    const Node x = queue_[queue_head_++];
+    if (!propagate_subject(x)) return false;
+    if (state_[x] == State::kHealthy && !propagate_tester(x)) return false;
+  }
+  queue_.clear();
+  queue_head_ = 0;
+  return true;
+}
+
+Node ExactSolver::pick_branch_node() const {
+  for (Node v = 0; v < state_.size(); ++v) {
+    if (state_[v] == State::kUnknown) return v;
+  }
+  return kNoNode;
+}
+
+void ExactSolver::snapshot(std::vector<std::vector<Node>>& out) {
+  std::vector<Node> faults;
+  for (Node v = 0; v < state_.size(); ++v) {
+    if (state_[v] == State::kFaulty) faults.push_back(v);
+  }
+  out.push_back(std::move(faults));
+}
+
+void ExactSolver::search(std::size_t max_solutions,
+                         std::vector<std::vector<Node>>& out) {
+  if (out.size() >= max_solutions) return;
+
+  // Budget exhausted: the rest of the graph must be healthy.
+  if (faulty_count_ == delta_) {
+    const std::size_t mark = trail_.size();
+    bool ok = true;
+    for (Node v = 0; v < state_.size() && ok; ++v) {
+      if (state_[v] == State::kUnknown) ok = assign(v, State::kHealthy);
+    }
+    ok = ok && propagate();
+    if (ok) snapshot(out);
+    // Undo the forced cascade.
+    queue_.clear();
+    queue_head_ = 0;
+    while (trail_.size() > mark) {
+      const Node v = trail_.back();
+      trail_.pop_back();
+      if (state_[v] == State::kFaulty) --faulty_count_;
+      state_[v] = State::kUnknown;
+    }
+    return;
+  }
+
+  const Node branch = pick_branch_node();
+  if (branch == kNoNode) {
+    snapshot(out);  // total consistent assignment
+    return;
+  }
+
+  for (const State choice : {State::kHealthy, State::kFaulty}) {
+    const std::size_t mark = trail_.size();
+    if (assign(branch, choice) && propagate()) {
+      search(max_solutions, out);
+    }
+    queue_.clear();
+    queue_head_ = 0;
+    while (trail_.size() > mark) {
+      const Node v = trail_.back();
+      trail_.pop_back();
+      if (state_[v] == State::kFaulty) --faulty_count_;
+      state_[v] = State::kUnknown;
+    }
+    if (out.size() >= max_solutions) return;
+  }
+}
+
+std::vector<std::vector<Node>> ExactSolver::solve(std::size_t max_solutions) {
+  std::fill(state_.begin(), state_.end(), State::kUnknown);
+  trail_.clear();
+  queue_.clear();
+  queue_head_ = 0;
+  faulty_count_ = 0;
+  steps_ = 0;
+  std::vector<std::vector<Node>> out;
+  search(max_solutions, out);
+  return out;
+}
+
+DiagnosisResult ExactSolver::diagnose() {
+  oracle_->reset_lookups();
+  DiagnosisResult result;
+  const auto solutions = solve(2);
+  result.lookups = oracle_->lookups();
+  if (solutions.size() == 1) {
+    result.success = true;
+    result.faults = solutions.front();
+  } else if (solutions.empty()) {
+    result.failure_reason = "no fault set of size <= delta is consistent";
+  } else {
+    result.failure_reason =
+        "ambiguous syndrome: at least two consistent candidates";
+  }
+  return result;
+}
+
+}  // namespace mmdiag

@@ -1,0 +1,72 @@
+// Exact syndrome solver — DPLL search with unit propagation.
+//
+// Enumerates every fault set F' with |F'| <= delta consistent with a
+// syndrome, like brute_force, but scales far beyond it: the MM-model
+// constraints propagate strongly (a healthy tester's 0-test forces both
+// subjects healthy; its 1-test with one healthy subject forces the other
+// faulty; a healthy 0-test about a faulty subject is an immediate
+// conflict), so the search tree collapses after a handful of decisions.
+//
+// Constraint semantics per tester u and neighbour pair {v,w}:
+//   u healthy ∧ s_u(v,w)=0  ⇒  v healthy ∧ w healthy
+//   u healthy ∧ s_u(v,w)=1  ⇒  v faulty ∨ w faulty
+//   u faulty                ⇒  (no information)
+//
+// Used as the ground-truth oracle in tests and to validate published
+// diagnosability values empirically (unique solution for every |F| <= δ
+// syndrome) on instances brute force cannot touch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/diagnoser.hpp"
+#include "graph/graph.hpp"
+#include "mm/oracle.hpp"
+#include "util/types.hpp"
+
+namespace mmdiag {
+
+class ExactSolver {
+ public:
+  /// The oracle is read on demand; each pair is consulted O(1) times per
+  /// search node. `max_steps` bounds the total propagation work (throws
+  /// std::runtime_error when exceeded — not expected on diagnosable
+  /// syndromes).
+  ExactSolver(const Graph& graph, const SyndromeOracle& oracle, unsigned delta,
+              std::uint64_t max_steps = 50'000'000);
+
+  /// All consistent fault sets of size <= delta (each sorted ascending),
+  /// stopping early once `max_solutions` have been found.
+  [[nodiscard]] std::vector<std::vector<Node>> solve(
+      std::size_t max_solutions = 2);
+
+  /// Full diagnosis: succeeds iff the solution is unique.
+  [[nodiscard]] DiagnosisResult diagnose();
+
+ private:
+  enum class State : std::uint8_t { kUnknown, kHealthy, kFaulty };
+
+  bool assign(Node v, State s);      // returns false on conflict
+  bool propagate();                  // drain the queue; false on conflict
+  bool propagate_tester(Node u);     // u just became healthy
+  bool propagate_subject(Node x);    // x just got a decided state
+  void search(std::size_t max_solutions,
+              std::vector<std::vector<Node>>& out);
+  void snapshot(std::vector<std::vector<Node>>& out);
+  [[nodiscard]] Node pick_branch_node() const;
+
+  const Graph* graph_;
+  const SyndromeOracle* oracle_;
+  unsigned delta_;
+  std::uint64_t max_steps_;
+  std::uint64_t steps_ = 0;
+
+  std::vector<State> state_;
+  std::vector<Node> trail_;      // assignment order, for backtracking
+  std::vector<Node> queue_;      // propagation frontier (indices into trail_)
+  std::size_t queue_head_ = 0;
+  unsigned faulty_count_ = 0;
+};
+
+}  // namespace mmdiag

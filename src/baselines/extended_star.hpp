@@ -1,0 +1,48 @@
+// Extended stars (Fig. 2) — the local structure Chiang & Tan's algorithm
+// diagnoses from.
+//
+// An extended star ES(x) of order b is a set of b branches, each a path
+// (x, v1, v2, v3, v4), where the 4b branch nodes are distinct and none
+// equals x. Chiang–Tan require one at *every* node; the paper's §6 stresses
+// that actually constructing them is family-specific work their complexity
+// analysis ignores. We provide the two constructions their paper sketches
+// (hypercubes, star graphs) plus a generic greedy fallback.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/star_graph.hpp"
+#include "util/types.hpp"
+
+namespace mmdiag {
+
+struct ExtendedStar {
+  Node root = kNoNode;
+  std::vector<std::array<Node, 4>> branches;  // branch b = (v1, v2, v3, v4)
+};
+
+/// Validates distinctness/adjacency of a candidate extended star.
+[[nodiscard]] bool extended_star_valid(const Graph& g, const ExtendedStar& es);
+
+/// Q_n (n >= 5): branch i follows dimensions i, i+1, i+2, i+3 (mod n).
+/// Branch node sets are distinct consecutive dimension runs, hence disjoint.
+[[nodiscard]] ExtendedStar extended_star_hypercube(const Hypercube& topo,
+                                                   Node x);
+
+/// S_n (n >= 5): branch i (2 <= i <= n) applies the position-1 swaps
+/// t_i, t_{succ(i)}, t_{succ^2(i)}, t_{succ^3(i)} where succ cycles through
+/// {2..n}. Distinctness is validated by construction (and by tests).
+[[nodiscard]] ExtendedStar extended_star_star_graph(const StarGraph& topo,
+                                                    Node x);
+
+/// Generic greedy construction over any graph: grows branch paths in
+/// BFS order, claiming nodes exclusively. Returns nullopt when fewer than
+/// `branches` disjoint depth-4 paths could be found at x.
+[[nodiscard]] std::optional<ExtendedStar> extended_star_greedy(
+    const Graph& g, Node x, unsigned branches);
+
+}  // namespace mmdiag

@@ -1,0 +1,109 @@
+#include "baselines/yang_cycle.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mmdiag {
+namespace {
+
+bool read_test(const Graph& g, const SyndromeOracle& oracle, Node u, Node a,
+               Node b) {
+  const int ia = g.neighbor_position(u, a);
+  const int ib = g.neighbor_position(u, b);
+  if (ia < 0 || ib < 0) throw std::logic_error("cycle edge missing from graph");
+  return oracle.test(u, static_cast<unsigned>(ia), static_cast<unsigned>(ib));
+}
+
+}  // namespace
+
+YangCycleDiagnoser::YangCycleDiagnoser(const Hypercube& topo,
+                                       const Graph& graph)
+    : graph_(&graph), n_(topo.dimension()) {
+  if (n_ < 7) {
+    // Needs 2^{n-m} > n healthy-cycle candidates with 2^m > n, as in §5.1.
+    throw std::invalid_argument("YangCycleDiagnoser: need n >= 7");
+  }
+  m_ = 1;
+  while ((std::uint64_t{1} << m_) <= n_) ++m_;
+  classified_.resize(graph.num_nodes());
+  known_healthy_.resize(graph.num_nodes());
+}
+
+bool YangCycleDiagnoser::cycle_all_zero(const SyndromeOracle& oracle,
+                                        std::size_t c) const {
+  const Node len = Node{1} << m_;
+  for (Node t = 0; t < len; ++t) {
+    const Node x = cycle_node(c, t);
+    const Node prev = cycle_node(c, (t + len - 1) & (len - 1));
+    const Node next = cycle_node(c, (t + 1) & (len - 1));
+    if (read_test(*graph_, oracle, x, prev, next)) return false;
+  }
+  return true;
+}
+
+DiagnosisResult YangCycleDiagnoser::diagnose(const SyndromeOracle& oracle) {
+  oracle.reset_lookups();
+  DiagnosisResult out;
+
+  // Phase 1: find an all-zero cycle. At most n of the 2^{n-m} cycles can be
+  // touched by faults, so scanning n+1 cycles suffices under |F| <= n.
+  const std::size_t scan_limit =
+      std::min<std::size_t>(num_cycles(), std::size_t{n_} + 1);
+  std::size_t healthy_cycle = num_cycles();
+  for (std::size_t c = 0; c < scan_limit; ++c) {
+    ++out.probes;
+    if (cycle_all_zero(oracle, c)) {
+      healthy_cycle = c;
+      break;
+    }
+  }
+  if (healthy_cycle == num_cycles()) {
+    out.lookups = oracle.lookups();
+    out.failure_reason = "no all-zero cycle found; fault count likely exceeds n";
+    return out;
+  }
+  out.certified_component = static_cast<std::uint32_t>(healthy_cycle);
+
+  // Phase 2: classify outward from the healthy cycle. Each BFS entry carries
+  // a known-healthy anchor neighbour so one test decides each new node.
+  classified_.clear();
+  known_healthy_.clear();
+  std::vector<Node> queue;           // healthy frontier
+  std::vector<Node> anchor_of;       // parallel to queue
+  const Node len = Node{1} << m_;
+  for (Node t = 0; t < len; ++t) {
+    const Node x = cycle_node(healthy_cycle, t);
+    classified_.insert(x);
+    known_healthy_.insert(x);
+    queue.push_back(x);
+    anchor_of.push_back(cycle_node(healthy_cycle, (t + 1) & (len - 1)));
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const Node u = queue[head];
+    const Node z = anchor_of[head];
+    for (const Node w : graph_->neighbors(u)) {
+      if (w == z || classified_.contains(w)) continue;
+      classified_.insert(w);
+      if (!read_test(*graph_, oracle, u, w, z)) {
+        known_healthy_.insert(w);
+        queue.push_back(w);
+        anchor_of.push_back(u);  // u is w's known-healthy anchor
+      } else {
+        out.faults.push_back(w);
+      }
+    }
+  }
+
+  out.final_members = queue.size();
+  std::sort(out.faults.begin(), out.faults.end());
+  out.lookups = oracle.lookups();
+  if (out.faults.size() > n_) {
+    out.failure_reason = "more than n nodes classified faulty";
+    out.faults.clear();
+    return out;
+  }
+  out.success = true;
+  return out;
+}
+
+}  // namespace mmdiag

@@ -1,0 +1,101 @@
+#include "core/diagnoser.hpp"
+
+#include <algorithm>
+
+namespace mmdiag {
+
+namespace {
+
+unsigned resolve_delta(const Topology& topology, const DiagnoserOptions& o) {
+  if (o.delta != 0) return o.delta;
+  const unsigned bound = topology.default_fault_bound();
+  if (bound == 0) {
+    throw DiagnosisUnsupportedError(
+        topology.info().name +
+        ": diagnosability is not established for these parameters (see §5's "
+        "validity conditions); pass DiagnoserOptions::delta explicitly");
+  }
+  return bound;
+}
+
+}  // namespace
+
+Diagnoser::Diagnoser(const Topology& topology, const Graph& graph,
+                     DiagnoserOptions options)
+    : graph_(&graph),
+      options_(options),
+      delta_(resolve_delta(topology, options)),
+      partition_(find_certified_partition(topology, graph, delta_,
+                                          options.rule,
+                                          options.validate_all_components)),
+      probe_builder_(graph, options.rule),
+      final_builder_(graph, options.final_rule) {
+  boundary_seen_.resize(graph.num_nodes());
+}
+
+DiagnosisResult Diagnoser::diagnose(const SyndromeOracle& oracle) {
+  oracle.reset_lookups();
+  DiagnosisResult out;
+  const PartitionPlan& plan = *partition_.plan;
+
+  // Phase 1: probe seeds until a restricted run certifies. At most δ
+  // components can contain a fault, so δ+1 probes suffice when |F| <= δ.
+  const std::size_t max_probes =
+      std::min<std::size_t>(plan.num_components(), std::size_t{delta_} + 1);
+  std::uint32_t certified = 0;
+  bool found = false;
+  probe_builder_.set_stop_on_certify(options_.stop_probe_on_certify);
+  for (std::size_t c = 0; c < max_probes; ++c) {
+    ++out.probes;
+    const auto probe = probe_builder_.run_restricted(
+        oracle, plan.seed_of(c), delta_, plan, static_cast<std::uint32_t>(c));
+    if (probe.all_healthy) {
+      certified = static_cast<std::uint32_t>(c);
+      found = true;
+      break;
+    }
+  }
+  probe_builder_.set_stop_on_certify(false);
+  if (!found) {
+    out.lookups = oracle.lookups();
+    out.failure_reason =
+        "no component certified within delta+1 probes; the fault count "
+        "likely exceeds the bound delta = " +
+        std::to_string(delta_);
+    return out;
+  }
+  out.certified_component = certified;
+
+  // Phase 2: unrestricted run from the certified seed. Every member is
+  // healthy (the seed is, and health propagates down the 0-tests) — no
+  // certificate is required, so the cheaper final rule applies.
+  const auto full = final_builder_.run(oracle, plan.seed_of(certified), delta_);
+  out.final_members = full.members.size();
+  out.final_rounds = full.rounds;
+
+  // Phase 3: N(U_r) is exactly F (Theorem 1).
+  boundary_seen_.clear();
+  for (const Node u : full.members) {
+    for (const Node v : graph_->neighbors(u)) {
+      if (!final_builder_.in_last_set(v) && boundary_seen_.insert(v)) {
+        out.faults.push_back(v);
+      }
+    }
+  }
+  std::sort(out.faults.begin(), out.faults.end());
+  out.lookups = oracle.lookups();
+
+  if (out.faults.size() > delta_) {
+    // Impossible under the |F| <= δ promise (N ⊆ F); report rather than lie.
+    out.failure_reason = "boundary larger than delta (" +
+                         std::to_string(out.faults.size()) + " > " +
+                         std::to_string(delta_) +
+                         "); the fault count exceeds the bound";
+    out.faults.clear();
+    return out;
+  }
+  out.success = true;
+  return out;
+}
+
+}  // namespace mmdiag

@@ -1,0 +1,91 @@
+// The generic fault-diagnosis driver (Theorem 1 + the §5 algorithm).
+//
+// Given a syndrome for an unknown fault set F with |F| <= δ:
+//   1. probe the components of a certified partition in order, running the
+//      restricted Set_Builder from each seed, until one run certifies
+//      all-healthy (at most δ+1 probes are ever needed: at most δ
+//      components contain faults, and a fault-free component certifies by
+//      calibration);
+//   2. rerun Set_Builder unrestricted from that seed — U_r is then a set of
+//      healthy nodes containing the whole certified component;
+//   3. output N = the neighbours of U_r. By Theorem 1 (κ >= δ), N = F.
+//
+// Total cost O(Δ·N) time and at most (Δ-1)(Δ/2 + |U_r| - 1) syndrome
+// look-ups for the final run (§6) — both measured by the benches.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/certified_partition.hpp"
+#include "core/set_builder.hpp"
+#include "graph/graph.hpp"
+#include "mm/oracle.hpp"
+#include "topology/topology.hpp"
+
+namespace mmdiag {
+
+struct DiagnoserOptions {
+  /// Fault bound δ; 0 means "use topology.default_fault_bound()".
+  unsigned delta = 0;
+  /// Parent rule for the certification probes (must match calibration).
+  ParentRule rule = ParentRule::kSpread;
+  /// Parent rule for the final unrestricted run. The final run starts from a
+  /// seed already known healthy, so no certificate is needed and the paper's
+  /// least-first rule applies: it admits members as soon as one 0-test
+  /// appears, touching each edge at most once — about Δ/2 times fewer
+  /// look-ups than the deferred spread rule (measured by bench_ablation).
+  ParentRule final_rule = ParentRule::kLeastFirst;
+  /// Calibrate every component (safe default) or just component 0.
+  bool validate_all_components = true;
+  /// Stop probe runs as soon as they certify instead of building the whole
+  /// component (optimisation measured by bench_ablation; the paper builds
+  /// probes to their fixpoint).
+  bool stop_probe_on_certify = false;
+};
+
+struct DiagnosisResult {
+  bool success = false;
+  std::vector<Node> faults;        // sorted ascending; meaningful on success
+  std::string failure_reason;      // meaningful on failure
+
+  // Accounting (§6 / benches):
+  std::size_t probes = 0;          // restricted Set_Builder runs performed
+  std::uint32_t certified_component = 0;
+  std::uint64_t lookups = 0;       // syndrome look-ups across all phases
+  std::size_t final_members = 0;   // |U_r| of the unrestricted run
+  unsigned final_rounds = 0;       // r of the unrestricted run
+};
+
+class Diagnoser {
+ public:
+  /// Builds the certified partition up front (throws
+  /// DiagnosisUnsupportedError if the topology cannot support the bound).
+  Diagnoser(const Topology& topology, const Graph& graph,
+            DiagnoserOptions options = {});
+
+  /// Diagnose one syndrome. The oracle's look-up counter is reset first.
+  [[nodiscard]] DiagnosisResult diagnose(const SyndromeOracle& oracle);
+
+  [[nodiscard]] unsigned delta() const noexcept { return delta_; }
+  [[nodiscard]] const CertifiedPartition& partition() const noexcept {
+    return partition_;
+  }
+  [[nodiscard]] const DiagnoserOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  const Graph* graph_;
+  DiagnoserOptions options_;
+  unsigned delta_;
+  CertifiedPartition partition_;
+  SetBuilder probe_builder_;  // options.rule — matches the calibration
+  SetBuilder final_builder_;  // options.final_rule — no certificate needed
+  StampSet boundary_seen_;    // scratch for collecting N(U_r)
+};
+
+}  // namespace mmdiag

@@ -1,0 +1,87 @@
+#include "core/distributed.hpp"
+
+#include <algorithm>
+
+#include "baselines/chiang_tan.hpp"
+#include "core/certified_partition.hpp"
+#include "core/set_builder.hpp"
+#include "graph/traversal.hpp"
+
+namespace mmdiag {
+namespace {
+
+std::uint64_t degree_sum(const Graph& g, const std::vector<Node>& nodes) {
+  std::uint64_t sum = 0;
+  for (const Node u : nodes) sum += g.degree(u);
+  return sum;
+}
+
+}  // namespace
+
+DistributedCost distributed_set_builder_cost(const Topology& topology,
+                                             const Graph& graph,
+                                             const SyndromeOracle& oracle,
+                                             const DiagnoserOptions& options) {
+  DistributedCost cost;
+  const unsigned delta = options.delta != 0 ? options.delta
+                                            : topology.default_fault_bound();
+  const CertifiedPartition partition = find_certified_partition(
+      topology, graph, delta, options.rule, options.validate_all_components);
+  const PartitionPlan& plan = *partition.plan;
+
+  oracle.reset_lookups();
+  SetBuilder builder(graph, options.rule);
+
+  // Phase A: every component probes concurrently.
+  std::uint64_t max_probe_rounds = 0;
+  bool any_certified = false;
+  std::size_t winner = 0;
+  for (std::size_t c = 0; c < plan.num_components(); ++c) {
+    const auto probe = builder.run_restricted(
+        oracle, plan.seed_of(c), delta, plan, static_cast<std::uint32_t>(c));
+    // Offer + reply per scanned edge; one offer round and one reply round
+    // per tree level, then a convergecast of contributor counts.
+    cost.messages += 2 * degree_sum(graph, probe.members) + probe.members.size();
+    max_probe_rounds = std::max<std::uint64_t>(
+        max_probe_rounds, 3ULL * (probe.rounds + 1));
+    if (probe.all_healthy && !any_certified) {
+      any_certified = true;
+      winner = c;
+    }
+  }
+  cost.rounds += max_probe_rounds;
+  if (!any_certified) {
+    cost.local_work = oracle.lookups();
+    return cost;  // success stays false
+  }
+
+  // Election: certified seeds flood their identity across the network.
+  cost.rounds += eccentricity(graph, plan.seed_of(winner));
+  cost.messages += 2 * graph.num_edges();
+
+  // Phase B: unrestricted build from the winner, then fault reports
+  // converge-cast back to the seed.
+  const auto full = builder.run(oracle, plan.seed_of(winner), delta);
+  cost.messages += 2 * degree_sum(graph, full.members) + full.members.size();
+  cost.rounds += 3ULL * (full.rounds + 1);
+  cost.local_work = oracle.lookups();
+  cost.success = true;
+  return cost;
+}
+
+DistributedCost distributed_chiang_tan_cost(const Hypercube& topo,
+                                            const Graph& graph,
+                                            const SyndromeOracle& oracle) {
+  DistributedCost cost;
+  const auto ct = ChiangTanDiagnoser::for_hypercube(topo, graph);
+  const auto result = ct.diagnose(oracle);
+  cost.success = result.success;
+  cost.local_work = result.lookups;
+  // Each node pulls 3 test bits per branch, relayed over 1+2+3 hops.
+  cost.messages =
+      6ULL * ct.branches() * static_cast<std::uint64_t>(graph.num_nodes());
+  cost.rounds = 6;  // pipelined relays
+  return cost;
+}
+
+}  // namespace mmdiag

@@ -1,0 +1,58 @@
+// Synchronous distributed-execution cost model (§6 "further research").
+//
+// The paper closes by proposing that the *system itself* should run the
+// diagnosis, and reports (without numbers) that a distributed Set_Builder
+// beats a distributed Chiang–Tan in hypercubes. We reproduce that comparison
+// under an explicit synchronous message-passing model — the interconnection
+// network is fault-free and every node knows only its own test results
+// (exactly the model the paper argues is realistic):
+//
+// Distributed Set_Builder:
+//   Phase A (parallel probes): every component runs its restricted build
+//     concurrently. A frontier node offers membership to each neighbour and
+//     receives an accept/decline reply (2 messages per scanned edge); one
+//     round per tree level for offers and one for replies. Contributor
+//     counts converge-cast up the tree (|U_c| messages, depth_c rounds).
+//     Rounds are the maximum over components; messages are summed.
+//   Phase B (election + final build): certified seeds flood their id
+//     (eccentricity rounds, 2|E| messages bound); the winning seed rebuilds
+//     unrestricted with the same offer/reply accounting, then fault reports
+//     converge-cast to the seed.
+//
+// Distributed Chiang–Tan:
+//   Every node x gathers, for each of its b branches, the three black-node
+//   test bits at distances 1, 2 and 3 — relayed along the branch, costing
+//   1 + 2 + 3 = 6 messages per branch — all nodes in parallel, 6 pipelined
+//   rounds, then a purely local decision. Messages: 6·b·N.
+//
+// Both simulations *execute the real algorithms* on the real syndrome; the
+// model only prices the communication.
+#pragma once
+
+#include <cstdint>
+
+#include "core/diagnoser.hpp"
+#include "graph/graph.hpp"
+#include "mm/oracle.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/topology.hpp"
+
+namespace mmdiag {
+
+struct DistributedCost {
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t local_work = 0;  // total syndrome-bit reads across nodes
+  bool success = false;
+};
+
+/// Distributed Set_Builder diagnosis under the model above.
+[[nodiscard]] DistributedCost distributed_set_builder_cost(
+    const Topology& topology, const Graph& graph, const SyndromeOracle& oracle,
+    const DiagnoserOptions& options = {});
+
+/// Distributed Chiang–Tan on a hypercube (b = n branches).
+[[nodiscard]] DistributedCost distributed_chiang_tan_cost(
+    const Hypercube& topo, const Graph& graph, const SyndromeOracle& oracle);
+
+}  // namespace mmdiag

@@ -1,0 +1,197 @@
+#include "core/set_builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace mmdiag {
+
+std::string to_string(ParentRule rule) {
+  switch (rule) {
+    case ParentRule::kLeastFirst:
+      return "least-first";
+    case ParentRule::kSpread:
+      return "spread";
+    case ParentRule::kLeastSync:
+      return "least-sync";
+    case ParentRule::kHashSpread:
+      return "hash-spread";
+  }
+  return "?";
+}
+
+SetBuilder::SetBuilder(const Graph& g, ParentRule rule)
+    : graph_(&g), rule_(rule) {
+  in_set_.resize(g.num_nodes());
+  is_contributor_.resize(g.num_nodes());
+  parent_of_.assign(g.num_nodes(), kNoNode);
+}
+
+SetBuilderResult SetBuilder::run(const SyndromeOracle& oracle, Node u0,
+                                 unsigned delta) {
+  return run_impl(oracle, u0, delta, nullptr, 0);
+}
+
+SetBuilderResult SetBuilder::run_restricted(const SyndromeOracle& oracle,
+                                            Node u0, unsigned delta,
+                                            const PartitionPlan& plan,
+                                            std::uint32_t comp) {
+  return run_impl(oracle, u0, delta, &plan, comp);
+}
+
+SetBuilderResult SetBuilder::run_impl(const SyndromeOracle& oracle, Node u0,
+                                      unsigned delta, const PartitionPlan* plan,
+                                      std::uint32_t comp) {
+  const Graph& g = *graph_;
+  if (u0 >= g.num_nodes()) throw std::invalid_argument("Set_Builder: bad seed");
+  if (plan != nullptr && plan->component_of(u0) != comp) {
+    throw std::invalid_argument("Set_Builder: seed outside its component");
+  }
+  auto eligible = [&](Node v) {
+    return plan == nullptr || plan->component_of(v) == comp;
+  };
+
+  in_set_.clear();
+  is_contributor_.clear();
+  frontier_.clear();
+  next_frontier_.clear();
+
+  SetBuilderResult result;
+  result.members.push_back(u0);
+  result.parent.push_back(kNoNode);
+  in_set_.insert(u0);
+  parent_of_[u0] = kNoNode;
+
+  auto add_member = [&](Node v, Node parent) {
+    parent_of_[v] = parent;
+    result.members.push_back(v);
+    result.parent.push_back(parent);
+    next_frontier_.push_back(v);
+  };
+
+  // ---- Round 1: U_1 from u0's pair tests. ----------------------------------
+  {
+    const auto adj = g.neighbors(u0);
+    // Eligible neighbour positions.
+    std::vector<unsigned> pos;
+    pos.reserve(adj.size());
+    for (unsigned p = 0; p < adj.size(); ++p) {
+      if (eligible(adj[p])) pos.push_back(p);
+    }
+    for (std::size_t a = 0; a < pos.size(); ++a) {
+      for (std::size_t b = a + 1; b < pos.size(); ++b) {
+        const Node va = adj[pos[a]];
+        const Node vb = adj[pos[b]];
+        // Once both endpoints are members the test adds no information.
+        if (in_set_.contains(va) && in_set_.contains(vb)) continue;
+        if (!oracle.test(u0, pos[a], pos[b])) {
+          if (in_set_.insert(va)) add_member(va, u0);
+          if (in_set_.insert(vb)) add_member(vb, u0);
+        }
+      }
+    }
+    if (!next_frontier_.empty()) {
+      is_contributor_.insert(u0);
+      result.contributors = 1;
+      result.rounds = 1;
+    }
+  }
+
+  // ---- Rounds i >= 2. -------------------------------------------------------
+  while (!next_frontier_.empty()) {
+    if (result.contributors > delta) {
+      result.all_healthy = true;
+      if (stop_on_certify_) break;
+    }
+    std::swap(frontier_, next_frontier_);
+    next_frontier_.clear();
+    // Process frontier nodes in ascending id order: under kLeastFirst this
+    // realises the paper's "least contributing node" parent choice.
+    std::sort(frontier_.begin(), frontier_.end());
+
+    if (rule_ == ParentRule::kLeastFirst) {
+      for (const Node u : frontier_) {
+        const int parent_pos = g.neighbor_position(u, parent_of_[u]);
+        const auto adj = g.neighbors(u);
+        bool contributed = false;
+        for (unsigned p = 0; p < adj.size(); ++p) {
+          const Node v = adj[p];
+          if (static_cast<int>(p) == parent_pos || in_set_.contains(v) ||
+              !eligible(v)) {
+            continue;
+          }
+          if (!oracle.test(u, p, static_cast<unsigned>(parent_pos))) {
+            in_set_.insert(v);
+            add_member(v, u);
+            contributed = true;
+          }
+        }
+        if (contributed && is_contributor_.insert(u)) ++result.contributors;
+      }
+    } else {  // kSpread / kLeastSync: joins deferred to the round end
+      zero_edges_.clear();
+      for (const Node u : frontier_) {
+        const int parent_pos = g.neighbor_position(u, parent_of_[u]);
+        const auto adj = g.neighbors(u);
+        for (unsigned p = 0; p < adj.size(); ++p) {
+          const Node v = adj[p];
+          if (static_cast<int>(p) == parent_pos || in_set_.contains(v) ||
+              !eligible(v)) {
+            continue;
+          }
+          if (!oracle.test(u, p, static_cast<unsigned>(parent_pos))) {
+            zero_edges_.emplace_back(u, v);
+          }
+        }
+      }
+      if (rule_ == ParentRule::kSpread) {
+        // Pass A: one child per distinct parent, scanning parents in
+        // ascending order (zero_edges_ is grouped by u in that order).
+        std::size_t i = 0;
+        while (i < zero_edges_.size()) {
+          const Node u = zero_edges_[i].first;
+          bool claimed = false;
+          std::size_t j = i;
+          for (; j < zero_edges_.size() && zero_edges_[j].first == u; ++j) {
+            const Node v = zero_edges_[j].second;
+            if (!claimed && in_set_.insert(v)) {
+              add_member(v, u);
+              if (is_contributor_.insert(u)) ++result.contributors;
+              claimed = true;
+            }
+          }
+          i = j;
+        }
+      } else if (rule_ == ParentRule::kHashSpread) {
+        // Order candidates so the first edge per child carries the parent
+        // minimising mix64(parent, child) — the coordination-free spread a
+        // distributed joiner can compute from its offers alone.
+        std::sort(zero_edges_.begin(), zero_edges_.end(),
+                  [](const std::pair<Node, Node>& a,
+                     const std::pair<Node, Node>& b) {
+                    if (a.second != b.second) return a.second < b.second;
+                    const auto ha = mix64(a.first, a.second);
+                    const auto hb = mix64(b.first, b.second);
+                    if (ha != hb) return ha < hb;
+                    return a.first < b.first;
+                  });
+      }
+      // Remaining candidates (all of them under kLeastSync / kHashSpread)
+      // go to the first admitting parent in edge order.
+      for (const auto& [u, v] : zero_edges_) {
+        if (in_set_.insert(v)) {
+          add_member(v, u);
+          if (is_contributor_.insert(u)) ++result.contributors;
+        }
+      }
+    }
+
+    if (!next_frontier_.empty()) ++result.rounds;
+  }
+
+  if (result.contributors > delta) result.all_healthy = true;
+  return result;
+}
+
+}  // namespace mmdiag

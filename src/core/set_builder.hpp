@@ -1,0 +1,105 @@
+// Set_Builder — the core procedure of §4.1.
+//
+// Starting from a seed u0, grow U_1 ⊆ U_2 ⊆ ... where
+//   U_1 = {u0} ∪ {v : s_{u0}(v,w) = 0 for some other neighbour w}, t(v)=u0,
+//   U_i = U_{i-1} ∪ {v ∉ U_{i-1} : s_u(v, t(u)) = 0 for some frontier u},
+// with t(v) the parent of v in the growth tree T. The *contributors* are the
+// internal nodes of T; if any internal node is faulty then all are, so once
+// more than δ distinct contributors exist the whole of U is certified
+// healthy ("all_healthy").
+//
+// Parent rules:
+//   kLeastFirst — the paper's rule: t(v) is the least frontier node (in the
+//     fixed node ordering) whose test admits v; members join as soon as
+//     admitted, so each edge is tested at most once.
+//   kSpread — our enhancement (DESIGN.md §4.2): joins are deferred to the
+//     end of the round and children are assigned so as to maximise the
+//     number of distinct parents. Certificate soundness is rule-independent
+//     (the faulty-internal-node propagation argument never uses leastness),
+//     but kSpread certifies strictly smaller components, e.g. fault-free
+//     Q_4 yields 8 internal nodes under kLeastFirst and 10 under kSpread.
+//   kLeastSync — deferred joins with least-offerer parents: exactly the
+//     tree a synchronous message-passing implementation grows (all offers
+//     of a round race, the least sender wins). Used to calibrate partitions
+//     for the distributed protocol in src/distributed.
+//   kHashSpread — deferred joins, parent = the offerer minimising
+//     mix64(parent, child): spreads children over distinct parents
+//     statistically, needs no coordination, and is therefore implementable
+//     distributed with zero extra messages. Certifies some instances
+//     kLeastSync cannot (calibration decides per instance).
+//
+// Runs may be restricted to one component of a PartitionPlan — the
+// Set_Builder(u0, H) of §5 — in which case only member nodes are touched.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "mm/oracle.hpp"
+#include "topology/partition.hpp"
+#include "util/bitvec.hpp"
+#include "util/types.hpp"
+
+namespace mmdiag {
+
+enum class ParentRule : std::uint8_t {
+  kLeastFirst,
+  kSpread,
+  kLeastSync,
+  kHashSpread,
+};
+
+[[nodiscard]] std::string to_string(ParentRule rule);
+
+struct SetBuilderResult {
+  bool all_healthy = false;      // certificate: contributors exceeded δ
+  unsigned rounds = 0;           // the paper's r (U_r = U_{r+1})
+  std::size_t contributors = 0;  // |C_1 ∪ ... ∪ C_r| = internal nodes of T
+  std::vector<Node> members;     // U_r in discovery order; members[0] = u0
+  std::vector<Node> parent;      // parent[i] = t(members[i]); root -> kNoNode
+};
+
+class SetBuilder {
+ public:
+  explicit SetBuilder(const Graph& g, ParentRule rule = ParentRule::kSpread);
+
+  /// Unrestricted run (the final phase of the §5 driver).
+  SetBuilderResult run(const SyndromeOracle& oracle, Node u0, unsigned delta);
+
+  /// Run restricted to component `comp` of `plan` — Set_Builder(u0, H).
+  SetBuilderResult run_restricted(const SyndromeOracle& oracle, Node u0,
+                                  unsigned delta, const PartitionPlan& plan,
+                                  std::uint32_t comp);
+
+  /// Membership in the most recent run's U_r (valid until the next run).
+  [[nodiscard]] bool in_last_set(Node v) const noexcept {
+    return in_set_.contains(v);
+  }
+
+  /// If true, stop growing as soon as the certificate fires (the paper
+  /// builds to the fixpoint; this is a probe-phase optimisation measured by
+  /// bench_ablation). Default false = paper-faithful.
+  void set_stop_on_certify(bool stop) noexcept { stop_on_certify_ = stop; }
+
+  [[nodiscard]] ParentRule rule() const noexcept { return rule_; }
+
+ private:
+  SetBuilderResult run_impl(const SyndromeOracle& oracle, Node u0,
+                            unsigned delta, const PartitionPlan* plan,
+                            std::uint32_t comp);
+
+  const Graph* graph_;
+  ParentRule rule_;
+  bool stop_on_certify_ = false;
+
+  // Scratch reused across runs (epoch-stamped, so clears are O(1)).
+  StampSet in_set_;
+  StampSet is_contributor_;
+  std::vector<Node> frontier_;       // members added in the previous round
+  std::vector<Node> next_frontier_;
+  std::vector<Node> parent_of_;      // parent by node id (only members valid)
+  std::vector<std::pair<Node, Node>> zero_edges_;  // kSpread round buffer
+};
+
+}  // namespace mmdiag

@@ -1,0 +1,28 @@
+// Post-hoc verification of a claimed diagnosis.
+//
+// A claimed fault set F' is *consistent* with a syndrome s when every
+// healthy tester's result matches the model: for all u ∉ F' and neighbour
+// pairs {v,w}, s_u(v,w) = [v ∈ F' or w ∈ F']. If G is δ-diagnosable,
+// |F'| <= δ, and F' is consistent, then F' is the unique correct answer —
+// so verification upgrades the diagnosis from "correct under the |F| <= δ
+// promise" to "checked against the full syndrome".
+#pragma once
+
+#include "core/diagnoser.hpp"
+#include "graph/graph.hpp"
+#include "mm/fault_set.hpp"
+#include "mm/oracle.hpp"
+
+namespace mmdiag {
+
+/// Full-syndrome consistency check — O(Σ d(d-1)/2) look-ups.
+[[nodiscard]] bool syndrome_consistent(const Graph& g,
+                                       const SyndromeOracle& oracle,
+                                       const FaultSet& claimed);
+
+/// Diagnose and then verify; on inconsistency the result is downgraded to a
+/// failure with an explanatory reason.
+[[nodiscard]] DiagnosisResult diagnose_and_verify(Diagnoser& diagnoser,
+                                                  const SyndromeOracle& oracle);
+
+}  // namespace mmdiag

@@ -1,0 +1,74 @@
+#include "distributed/simulator.hpp"
+
+#include <stdexcept>
+
+namespace mmdiag {
+
+std::span<const Node> NetContext::neighbors() const noexcept {
+  return net_->graph_->neighbors(self_);
+}
+
+std::uint64_t NetContext::round() const noexcept { return net_->round_; }
+
+void NetContext::send(Node to, MsgType type, std::uint64_t payload) {
+  if (!net_->graph_->has_edge(self_, to)) {
+    throw std::logic_error("NetContext::send: not a link");
+  }
+  net_->next_inbox_[to].push_back({self_, type, payload});
+  ++net_->messages_;
+  if (!net_->next_active_flag_[to]) {
+    net_->next_active_flag_[to] = 1;
+    net_->next_active_.push_back(to);
+  }
+}
+
+void NetContext::wake_next_round() {
+  if (!net_->next_active_flag_[self_]) {
+    net_->next_active_flag_[self_] = 1;
+    net_->next_active_.push_back(self_);
+  }
+}
+
+bool NetContext::my_test(unsigned i, unsigned j) const {
+  return net_->oracle_->test(self_, i, j);
+}
+
+SyncNetwork::SyncNetwork(const Graph& graph, const SyndromeOracle& oracle,
+                         NodeProgram& program)
+    : graph_(&graph),
+      oracle_(&oracle),
+      program_(&program),
+      inbox_(graph.num_nodes()),
+      next_inbox_(graph.num_nodes()),
+      active_flag_(graph.num_nodes(), 0),
+      next_active_flag_(graph.num_nodes(), 0) {}
+
+void SyncNetwork::wake(Node v) {
+  if (!next_active_flag_[v]) {
+    next_active_flag_[v] = 1;
+    next_active_.push_back(v);
+  }
+}
+
+std::uint64_t SyncNetwork::run_to_quiescence(std::uint64_t max_rounds) {
+  std::uint64_t executed = 0;
+  while (!next_active_.empty()) {
+    if (++executed > max_rounds) {
+      throw std::runtime_error("SyncNetwork: round limit exceeded");
+    }
+    ++round_;
+    std::swap(inbox_, next_inbox_);
+    std::swap(active_, next_active_);
+    std::swap(active_flag_, next_active_flag_);
+    next_active_.clear();
+    for (const Node v : active_) {
+      NetContext ctx(this, v);
+      program_->on_round(ctx, inbox_[v]);
+      inbox_[v].clear();
+      active_flag_[v] = 0;
+    }
+  }
+  return executed;
+}
+
+}  // namespace mmdiag

@@ -1,0 +1,117 @@
+// A synchronous message-passing network simulator.
+//
+// The paper's closing section argues the *system itself* should compute the
+// diagnosis: nodes are unreliable, but links and the communication layer are
+// not ("it is entirely realistic to assume that the communication network is
+// intact and fault-free"). This module provides that substrate: N nodes on
+// the interconnection graph exchange messages in synchronous rounds;
+// messages sent in round r are delivered in round r+1; only link-local
+// communication is possible. The simulator counts rounds and messages —
+// the two costs the §6 sketch cares about.
+//
+// Programs see only local information: their id, their neighbour list, and
+// (through LocalSyndrome) their OWN comparison results — never another
+// node's tests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "mm/oracle.hpp"
+#include "util/types.hpp"
+
+namespace mmdiag {
+
+enum class MsgType : std::uint8_t {
+  kOffer,       // Set_Builder membership offer (sender's 0-test admitted you)
+  kAck,         // parent choice: sender became the receiver's child
+  kCount,       // convergecast: subtree internal-node count (payload)
+  kElect,       // flooding: best certified seed id seen so far (payload)
+  kJoined,      // membership announcement to all neighbours
+  kReport,      // fault report: payload = suspected node id
+  kReportDone,  // convergecast: subtree finished reporting
+};
+
+struct Message {
+  Node from = kNoNode;
+  MsgType type = MsgType::kOffer;
+  std::uint64_t payload = 0;
+};
+
+class SyncNetwork;
+
+/// Per-round execution context handed to a node.
+class NetContext {
+ public:
+  [[nodiscard]] Node self() const noexcept { return self_; }
+  [[nodiscard]] std::span<const Node> neighbors() const noexcept;
+  [[nodiscard]] std::uint64_t round() const noexcept;
+
+  /// Send to a direct neighbour (asserted); delivered next round.
+  void send(Node to, MsgType type, std::uint64_t payload = 0);
+
+  /// Schedule this node to run next round even with an empty inbox.
+  void wake_next_round();
+
+  /// This node's own comparison result over adjacency positions i != j —
+  /// the only syndrome data a real node possesses.
+  [[nodiscard]] bool my_test(unsigned i, unsigned j) const;
+
+ private:
+  friend class SyncNetwork;
+  NetContext(SyncNetwork* net, Node self) : net_(net), self_(self) {}
+  SyncNetwork* net_;
+  Node self_;
+};
+
+/// A node program: called once per round in which the node has mail or has
+/// requested a wake-up.
+class NodeProgram {
+ public:
+  virtual ~NodeProgram() = default;
+  virtual void on_round(NetContext& ctx, std::span<const Message> inbox) = 0;
+};
+
+class SyncNetwork {
+ public:
+  /// One shared program instance services every node (it must key its state
+  /// by ctx.self()); the oracle supplies each node's own tests.
+  SyncNetwork(const Graph& graph, const SyndromeOracle& oracle,
+              NodeProgram& program);
+
+  /// Wake a node at the start of the next run.
+  void wake(Node v);
+
+  /// Run until a round with no deliverable messages and no wake requests,
+  /// or until `max_rounds` elapse (throws std::runtime_error on overrun).
+  /// Returns the number of rounds executed in this call.
+  std::uint64_t run_to_quiescence(std::uint64_t max_rounds = 1'000'000);
+
+  [[nodiscard]] std::uint64_t total_rounds() const noexcept { return round_; }
+  [[nodiscard]] std::uint64_t total_messages() const noexcept {
+    return messages_;
+  }
+  [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
+
+ private:
+  friend class NetContext;
+
+  const Graph* graph_;
+  const SyndromeOracle* oracle_;
+  NodeProgram* program_;
+
+  std::vector<std::vector<Message>> inbox_;
+  std::vector<std::vector<Message>> next_inbox_;
+  std::vector<Node> active_;       // nodes with mail or wake requests
+  std::vector<Node> next_active_;
+  std::vector<std::uint8_t> active_flag_;
+  std::vector<std::uint8_t> next_active_flag_;
+
+  std::uint64_t round_ = 0;
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace mmdiag

@@ -1,0 +1,78 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace mmdiag {
+
+Graph build_graph_from_edges(std::size_t num_nodes,
+                             const std::vector<std::pair<Node, Node>>& edges) {
+  std::vector<EdgeIndex> offsets(num_nodes + 1, 0);
+  for (const auto& [u, v] : edges) {
+    if (u >= num_nodes || v >= num_nodes) {
+      throw std::invalid_argument("edge endpoint out of range");
+    }
+    if (u == v) throw std::invalid_argument("self-loop not allowed");
+    ++offsets[u + 1];
+    ++offsets[v + 1];
+  }
+  for (std::size_t i = 1; i <= num_nodes; ++i) offsets[i] += offsets[i - 1];
+  std::vector<Node> neighbors(offsets[num_nodes]);
+  std::vector<EdgeIndex> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& [u, v] : edges) {
+    neighbors[cursor[u]++] = v;
+    neighbors[cursor[v]++] = u;
+  }
+  for (std::size_t u = 0; u < num_nodes; ++u) {
+    auto first = neighbors.begin() + static_cast<std::ptrdiff_t>(offsets[u]);
+    auto last = neighbors.begin() + static_cast<std::ptrdiff_t>(offsets[u + 1]);
+    std::sort(first, last);
+    if (std::adjacent_find(first, last) != last) {
+      throw std::invalid_argument("duplicate edge at node " + std::to_string(u));
+    }
+  }
+  return Graph(std::move(offsets), std::move(neighbors));
+}
+
+Graph build_graph_from_generator(
+    std::size_t num_nodes,
+    const std::function<void(Node, std::vector<Node>&)>& emit_neighbors) {
+  std::vector<EdgeIndex> offsets(num_nodes + 1, 0);
+  std::vector<Node> scratch;
+  // First pass: degrees.
+  for (std::size_t u = 0; u < num_nodes; ++u) {
+    scratch.clear();
+    emit_neighbors(static_cast<Node>(u), scratch);
+    offsets[u + 1] = offsets[u] + scratch.size();
+  }
+  std::vector<Node> neighbors(offsets[num_nodes]);
+  for (std::size_t u = 0; u < num_nodes; ++u) {
+    scratch.clear();
+    emit_neighbors(static_cast<Node>(u), scratch);
+    std::sort(scratch.begin(), scratch.end());
+    if (std::adjacent_find(scratch.begin(), scratch.end()) != scratch.end()) {
+      throw std::invalid_argument("generator produced duplicate neighbour at node " +
+                                  std::to_string(u));
+    }
+    for (const Node v : scratch) {
+      if (v >= num_nodes) throw std::invalid_argument("neighbour out of range");
+      if (v == u) throw std::invalid_argument("generator produced self-loop");
+    }
+    std::copy(scratch.begin(), scratch.end(),
+              neighbors.begin() + static_cast<std::ptrdiff_t>(offsets[u]));
+  }
+  Graph g(std::move(offsets), std::move(neighbors));
+  // Symmetry validation: v in adj(u) must imply u in adj(v).
+  for (std::size_t u = 0; u < num_nodes; ++u) {
+    for (const Node v : g.neighbors(static_cast<Node>(u))) {
+      if (!g.has_edge(v, static_cast<Node>(u))) {
+        throw std::logic_error("generator adjacency not symmetric at edge (" +
+                               std::to_string(u) + "," + std::to_string(v) + ")");
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace mmdiag

@@ -1,0 +1,24 @@
+// Construction of CSR graphs from edge lists or neighbour generators.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/types.hpp"
+
+namespace mmdiag {
+
+/// Build from an undirected edge list. Self-loops are rejected; duplicate
+/// edges are rejected (interconnection networks are simple graphs).
+[[nodiscard]] Graph build_graph_from_edges(
+    std::size_t num_nodes, const std::vector<std::pair<Node, Node>>& edges);
+
+/// Build by asking `emit_neighbors(u, out)` for each node. The generator must
+/// be symmetric (v in adj(u) iff u in adj(v)); this is validated.
+[[nodiscard]] Graph build_graph_from_generator(
+    std::size_t num_nodes,
+    const std::function<void(Node, std::vector<Node>&)>& emit_neighbors);
+
+}  // namespace mmdiag

@@ -1,0 +1,33 @@
+// Exact vertex connectivity via maximum flow (Even–Tarjan reduction).
+//
+// Theorem 1 of the paper requires κ(G) ≥ δ(G); the applications in §5 quote
+// published connectivity results for each family. Tests verify those values
+// computationally on small instances so reconstructed topology definitions
+// (twisted cube, shuffle-cube, augmented k-ary n-cube) are demonstrably
+// faithful where it matters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/types.hpp"
+
+namespace mmdiag {
+
+/// Max number of internally node-disjoint s-t paths (s != t, not adjacent),
+/// i.e. the size of a minimum s-t vertex cut (Menger). O(E * sqrt(V)) Dinic.
+[[nodiscard]] unsigned local_vertex_connectivity(const Graph& g, Node s, Node t);
+
+/// Exact global vertex connectivity κ(G). Complete graphs return n-1.
+/// Intended for graphs up to a few thousand nodes (tests only).
+[[nodiscard]] unsigned vertex_connectivity(const Graph& g);
+
+/// A minimum s-t vertex separator (empty if s,t adjacent or equal).
+[[nodiscard]] std::vector<Node> min_vertex_cut(const Graph& g, Node s, Node t);
+
+/// True if removing `cut` disconnects the remaining graph (an articulation
+/// set in the paper's terminology). The cut must not cover all nodes.
+[[nodiscard]] bool is_articulation_set(const Graph& g, const std::vector<Node>& cut);
+
+}  // namespace mmdiag

@@ -1,0 +1,25 @@
+// Graphviz DOT export — used by the Fig.1/Fig.2 example programs.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/types.hpp"
+
+namespace mmdiag {
+
+struct DotStyle {
+  /// Optional per-node label; default is the numeric id.
+  std::function<std::string(Node)> label;
+  /// Nodes to highlight (filled red) — e.g. a fault set.
+  std::vector<Node> highlighted;
+  /// Optional set of emphasised edges (e.g. a tree or cycle), as pairs.
+  std::vector<std::pair<Node, Node>> bold_edges;
+};
+
+void write_dot(std::ostream& os, const Graph& g, const DotStyle& style = {});
+
+}  // namespace mmdiag

@@ -1,0 +1,34 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mmdiag {
+
+Graph::Graph(std::vector<EdgeIndex> offsets, std::vector<Node> neighbors)
+    : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {
+  if (offsets_.empty() || offsets_.front() != 0 ||
+      offsets_.back() != neighbors_.size()) {
+    throw std::invalid_argument("Graph: malformed CSR offsets");
+  }
+  const std::size_t n = offsets_.size() - 1;
+  min_degree_ = n == 0 ? 0 : ~0u;
+  for (std::size_t u = 0; u < n; ++u) {
+    const auto deg = static_cast<unsigned>(offsets_[u + 1] - offsets_[u]);
+    max_degree_ = std::max(max_degree_, deg);
+    min_degree_ = std::min(min_degree_, deg);
+    if (!std::is_sorted(neighbors_.begin() + static_cast<std::ptrdiff_t>(offsets_[u]),
+                        neighbors_.begin() + static_cast<std::ptrdiff_t>(offsets_[u + 1]))) {
+      throw std::invalid_argument("Graph: adjacency not sorted");
+    }
+  }
+}
+
+int Graph::neighbor_position(Node u, Node v) const noexcept {
+  const auto adj = neighbors(u);
+  const auto it = std::lower_bound(adj.begin(), adj.end(), v);
+  if (it == adj.end() || *it != v) return -1;
+  return static_cast<int>(it - adj.begin());
+}
+
+}  // namespace mmdiag

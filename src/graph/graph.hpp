@@ -1,0 +1,58 @@
+// Compressed-sparse-row undirected graph.
+//
+// This is the in-memory form every diagnosis algorithm consumes: adjacency
+// lists are contiguous and sorted, so a neighbour position (needed to address
+// syndrome bits s_u(v,w) by position) is a binary search, and full scans are
+// cache-friendly — the O(Δ·|U_r|) bound of §4.2 relies on both.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace mmdiag {
+
+class Graph {
+ public:
+  Graph() = default;
+  /// offsets.size() == n+1; neighbors sorted ascending within each node.
+  Graph(std::vector<EdgeIndex> offsets, std::vector<Node> neighbors);
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  [[nodiscard]] EdgeIndex num_edges() const noexcept { return neighbors_.size() / 2; }
+
+  [[nodiscard]] std::span<const Node> neighbors(Node u) const noexcept {
+    return {neighbors_.data() + offsets_[u],
+            neighbors_.data() + offsets_[u + 1]};
+  }
+
+  [[nodiscard]] unsigned degree(Node u) const noexcept {
+    return static_cast<unsigned>(offsets_[u + 1] - offsets_[u]);
+  }
+
+  [[nodiscard]] unsigned max_degree() const noexcept { return max_degree_; }
+  [[nodiscard]] unsigned min_degree() const noexcept { return min_degree_; }
+
+  /// Position of v in u's adjacency list, or -1 if absent. O(log Δ).
+  [[nodiscard]] int neighbor_position(Node u, Node v) const noexcept;
+
+  [[nodiscard]] bool has_edge(Node u, Node v) const noexcept {
+    return neighbor_position(u, v) >= 0;
+  }
+
+  [[nodiscard]] std::uint64_t memory_bytes() const noexcept {
+    return offsets_.size() * sizeof(EdgeIndex) + neighbors_.size() * sizeof(Node);
+  }
+
+ private:
+  std::vector<EdgeIndex> offsets_;
+  std::vector<Node> neighbors_;
+  unsigned max_degree_ = 0;
+  unsigned min_degree_ = 0;
+};
+
+}  // namespace mmdiag

@@ -1,0 +1,34 @@
+// Breadth-first traversal utilities: distances, components, diameter.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/types.hpp"
+
+namespace mmdiag {
+
+/// BFS hop distances from source; unreachable nodes get UINT32_MAX.
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(const Graph& g, Node source);
+
+/// Component id per node (0-based, in order of discovery) and component count.
+struct Components {
+  std::vector<std::uint32_t> id;
+  std::size_t count = 0;
+};
+[[nodiscard]] Components connected_components(const Graph& g);
+
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// True if the subgraph induced by `members` is connected (members nonempty).
+[[nodiscard]] bool induced_subgraph_connected(const Graph& g,
+                                              const std::vector<Node>& members);
+
+/// Exact diameter by full BFS sweep — O(N·(N+M)); small graphs only.
+[[nodiscard]] std::uint32_t diameter(const Graph& g);
+
+/// Eccentricity of one node (max BFS distance) — cheap diameter lower bound.
+[[nodiscard]] std::uint32_t eccentricity(const Graph& g, Node source);
+
+}  // namespace mmdiag

@@ -1,0 +1,121 @@
+#include "io/syndrome_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "topology/registry.hpp"
+
+namespace mmdiag {
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("syndrome file, line " + std::to_string(line) +
+                           ": " + what);
+}
+
+/// Reads the next non-comment, non-empty line; false at EOF.
+bool next_record(std::istream& is, std::string& line, std::size_t& lineno) {
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void write_syndrome(std::ostream& os, const std::string& spec,
+                    const Graph& graph, const Syndrome& syndrome) {
+  os << "mmdiag-syndrome v1\n";
+  os << "topology " << spec << "\n";
+  std::string bits;
+  for (Node u = 0; u < graph.num_nodes(); ++u) {
+    const unsigned d = graph.degree(u);
+    bits.clear();
+    for (unsigned i = 0; i + 1 < d; ++i) {
+      for (unsigned j = i + 1; j < d; ++j) {
+        bits.push_back(syndrome.test(u, i, j) ? '1' : '0');
+      }
+    }
+    os << "node " << u << " " << (bits.empty() ? "-" : bits) << "\n";
+  }
+  os << "end\n";
+}
+
+LoadedSyndrome read_syndrome(std::istream& is) {
+  std::size_t lineno = 0;
+  std::string line;
+  if (!next_record(is, line, lineno) || line != "mmdiag-syndrome v1") {
+    fail(lineno, "expected header 'mmdiag-syndrome v1'");
+  }
+  if (!next_record(is, line, lineno) || line.rfind("topology ", 0) != 0) {
+    fail(lineno, "expected 'topology <spec>'");
+  }
+  LoadedSyndrome out{line.substr(9), nullptr, Graph{}, Syndrome{Graph{}}};
+  try {
+    out.topology = make_topology_from_spec(out.spec);
+  } catch (const std::exception& e) {
+    fail(lineno, std::string("bad topology spec: ") + e.what());
+  }
+  out.graph = out.topology->build_graph();
+  out.syndrome = Syndrome(out.graph);
+
+  std::vector<bool> seen(out.graph.num_nodes(), false);
+  std::size_t remaining = out.graph.num_nodes();
+  while (next_record(is, line, lineno)) {
+    if (line == "end") {
+      if (remaining != 0) {
+        fail(lineno, std::to_string(remaining) + " node record(s) missing");
+      }
+      return out;
+    }
+    std::istringstream ls(line);
+    std::string keyword, bits;
+    std::uint64_t id = 0;
+    if (!(ls >> keyword >> id >> bits) || keyword != "node") {
+      fail(lineno, "expected 'node <id> <bits>'");
+    }
+    if (id >= out.graph.num_nodes()) fail(lineno, "node id out of range");
+    if (seen[id]) fail(lineno, "duplicate node record");
+    seen[id] = true;
+    --remaining;
+    const unsigned d = out.graph.degree(static_cast<Node>(id));
+    const std::size_t expected = static_cast<std::size_t>(d) * (d - 1) / 2;
+    if (bits == "-" && expected == 0) continue;
+    if (bits.size() != expected) {
+      fail(lineno, "expected " + std::to_string(expected) + " bits, got " +
+                       std::to_string(bits.size()));
+    }
+    std::size_t cursor = 0;
+    for (unsigned i = 0; i + 1 < d; ++i) {
+      for (unsigned j = i + 1; j < d; ++j, ++cursor) {
+        if (bits[cursor] != '0' && bits[cursor] != '1') {
+          fail(lineno, "bits must be 0 or 1");
+        }
+        out.syndrome.set_test(static_cast<Node>(id), i, j,
+                              bits[cursor] == '1');
+      }
+    }
+  }
+  fail(lineno, "missing 'end'");
+}
+
+void write_node_list(std::ostream& os, const std::vector<Node>& nodes) {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (i) os << ' ';
+    os << nodes[i];
+  }
+  os << '\n';
+}
+
+std::vector<Node> read_node_list(std::istream& is) {
+  std::vector<Node> out;
+  std::uint64_t v = 0;
+  while (is >> v) out.push_back(static_cast<Node>(v));
+  return out;
+}
+
+}  // namespace mmdiag

@@ -1,0 +1,48 @@
+// Text serialisation of syndromes — the interchange point between a real
+// machine's self-test collection and this library's diagnosis.
+//
+// Format (line oriented, '#' comments allowed between records):
+//
+//   mmdiag-syndrome v1
+//   topology <family> <params...>
+//   node <id> <bits>
+//   ...
+//   end
+//
+// <bits> is the node's triangular pair-test block, one character per
+// unordered neighbour pair in (i,j) lexicographic order (i < j over
+// adjacency positions), '0' or '1'. Every node of the topology must appear
+// exactly once. The topology line rebuilds adjacency deterministically, so
+// positions are unambiguous.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "mm/syndrome.hpp"
+#include "topology/topology.hpp"
+
+namespace mmdiag {
+
+struct LoadedSyndrome {
+  std::string spec;                 // e.g. "hypercube 8"
+  std::unique_ptr<Topology> topology;
+  Graph graph;
+  Syndrome syndrome;
+};
+
+/// Serialise a syndrome together with its topology spec.
+void write_syndrome(std::ostream& os, const std::string& spec,
+                    const Graph& graph, const Syndrome& syndrome);
+
+/// Parse a syndrome file; throws std::runtime_error with a line-numbered
+/// message on any malformed input.
+[[nodiscard]] LoadedSyndrome read_syndrome(std::istream& is);
+
+/// Convenience: node list serialisation ("3 17 42\n"), used for fault sets.
+void write_node_list(std::ostream& os, const std::vector<Node>& nodes);
+[[nodiscard]] std::vector<Node> read_node_list(std::istream& is);
+
+}  // namespace mmdiag

@@ -1,0 +1,45 @@
+#include "mm/behavior.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace mmdiag {
+
+std::string to_string(FaultyBehavior b) {
+  switch (b) {
+    case FaultyBehavior::kRandom:
+      return "random";
+    case FaultyBehavior::kAllZero:
+      return "all-zero";
+    case FaultyBehavior::kAllOne:
+      return "all-one";
+    case FaultyBehavior::kAntiDiagnostic:
+      return "anti-diagnostic";
+  }
+  return "?";
+}
+
+bool faulty_test_result(FaultyBehavior behavior, std::uint64_t seed, Node u,
+                        Node v, Node w, bool v_faulty, bool w_faulty) {
+  switch (behavior) {
+    case FaultyBehavior::kRandom: {
+      // Canonicalise the unordered pair so the syndrome is well defined.
+      const Node lo = std::min(v, w);
+      const Node hi = std::max(v, w);
+      const std::uint64_t pair =
+          (static_cast<std::uint64_t>(lo) << 32) | hi;
+      return (mix64(seed, u, pair) & 1ULL) != 0;
+    }
+    case FaultyBehavior::kAllZero:
+      return false;
+    case FaultyBehavior::kAllOne:
+      return true;
+    case FaultyBehavior::kAntiDiagnostic:
+      // A healthy tester would report (v_faulty || w_faulty); invert it.
+      return !(v_faulty || w_faulty);
+  }
+  return false;
+}
+
+}  // namespace mmdiag

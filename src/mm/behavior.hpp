@@ -1,0 +1,37 @@
+// Faulty-tester behaviours under the MM model.
+//
+// The model places *no* reliance on a faulty node's comparisons: s_u(v,w)
+// may be arbitrarily 0 or 1 when u is faulty. Correct algorithms must return
+// the exact fault set for every behaviour, so the library ships several —
+// including an adversarial one that inverts the truth — and property tests
+// sweep all of them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace mmdiag {
+
+enum class FaultyBehavior : std::uint8_t {
+  kRandom,          // seeded hash of (u, {v,w}) — arbitrary but repeatable
+  kAllZero,         // liar: claims every pair healthy
+  kAllOne,          // alarmist: claims every pair suspicious
+  kAntiDiagnostic,  // inverts the truth a healthy tester would report
+};
+
+[[nodiscard]] std::string to_string(FaultyBehavior b);
+
+inline constexpr FaultyBehavior kAllFaultyBehaviors[] = {
+    FaultyBehavior::kRandom, FaultyBehavior::kAllZero, FaultyBehavior::kAllOne,
+    FaultyBehavior::kAntiDiagnostic};
+
+/// The result a *faulty* tester u reports for the unordered pair {v,w}.
+/// v_faulty/w_faulty describe the true state of the subjects (only the
+/// anti-diagnostic behaviour reads them).
+[[nodiscard]] bool faulty_test_result(FaultyBehavior behavior,
+                                      std::uint64_t seed, Node u, Node v,
+                                      Node w, bool v_faulty, bool w_faulty);
+
+}  // namespace mmdiag

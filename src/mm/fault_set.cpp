@@ -1,0 +1,18 @@
+#include "mm/fault_set.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mmdiag {
+
+FaultSet::FaultSet(std::size_t num_nodes, std::vector<Node> faulty)
+    : nodes_(std::move(faulty)), member_(num_nodes) {
+  std::sort(nodes_.begin(), nodes_.end());
+  nodes_.erase(std::unique(nodes_.begin(), nodes_.end()), nodes_.end());
+  for (const Node v : nodes_) {
+    if (v >= num_nodes) throw std::invalid_argument("faulty node out of range");
+    member_.set(v);
+  }
+}
+
+}  // namespace mmdiag

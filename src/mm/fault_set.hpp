@@ -1,0 +1,32 @@
+// A set of faulty nodes with O(1) membership queries.
+#pragma once
+
+#include <vector>
+
+#include "util/bitvec.hpp"
+#include "util/types.hpp"
+
+namespace mmdiag {
+
+class FaultSet {
+ public:
+  /// Builds from an arbitrary node list (sorted and deduplicated here).
+  FaultSet(std::size_t num_nodes, std::vector<Node> faulty);
+
+  [[nodiscard]] bool is_faulty(Node v) const noexcept { return member_.get(v); }
+  [[nodiscard]] const std::vector<Node>& nodes() const noexcept { return nodes_; }
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t universe() const noexcept {
+    return static_cast<std::size_t>(member_.size());
+  }
+
+  [[nodiscard]] bool operator==(const FaultSet& other) const noexcept {
+    return nodes_ == other.nodes_;
+  }
+
+ private:
+  std::vector<Node> nodes_;  // sorted ascending
+  BitVec member_;
+};
+
+}  // namespace mmdiag

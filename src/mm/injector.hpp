@@ -1,0 +1,39 @@
+// Fault-set generators for experiments and property tests.
+//
+// The diagnosis guarantee is worst-case over all fault sets of size <= δ, so
+// tests sweep several structurally different injection patterns:
+//   uniform   — faults spread independently over V
+//   surround  — all neighbours of a centre node (the classic near-ambiguous
+//               configuration from §2's diagnosability upper-bound argument)
+//   clustered — a BFS ball around a centre (stresses component probing)
+//   targeted  — faults confined to chosen partition components (stresses the
+//               seed search order of the §5 driver)
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace mmdiag {
+
+/// `count` distinct nodes uniformly at random.
+[[nodiscard]] std::vector<Node> inject_uniform(std::size_t num_nodes,
+                                               std::size_t count, Rng& rng);
+
+/// All neighbours of `center` (center itself stays healthy).
+[[nodiscard]] std::vector<Node> inject_surround(const Graph& g, Node center);
+
+/// `count` nodes nearest to `center` in BFS order (including center).
+[[nodiscard]] std::vector<Node> inject_clustered(const Graph& g, Node center,
+                                                 std::size_t count);
+
+/// `count` distinct nodes sampled uniformly from {v : predicate(v)}.
+/// Throws if fewer than `count` nodes satisfy the predicate.
+[[nodiscard]] std::vector<Node> inject_where(
+    std::size_t num_nodes, std::size_t count,
+    const std::function<bool(Node)>& predicate, Rng& rng);
+
+}  // namespace mmdiag

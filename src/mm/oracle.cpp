@@ -1,0 +1,4 @@
+#include "mm/oracle.hpp"
+
+// All oracle methods are inline; this TU exists to anchor the vtables.
+namespace mmdiag {}  // namespace mmdiag

@@ -1,0 +1,99 @@
+// Syndrome oracles: how diagnosis algorithms read test results.
+//
+// §6 of the paper argues that Set_Builder's advantage over Chiang–Tan is
+// that it consults only (Δ-1)(Δ/2 + |U_r| - 1) results instead of the whole
+// table. Every oracle therefore counts look-ups, and a lazy oracle serves
+// syndromes that were never materialised (equivalent to performing tests on
+// demand in the machine).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "graph/graph.hpp"
+#include "mm/behavior.hpp"
+#include "mm/fault_set.hpp"
+#include "mm/syndrome.hpp"
+#include "util/types.hpp"
+
+namespace mmdiag {
+
+class SyndromeOracle {
+ public:
+  virtual ~SyndromeOracle() = default;
+
+  /// s_u over adjacency positions i != j of u. Counted.
+  [[nodiscard]] bool test(Node u, unsigned i, unsigned j) const {
+    ++lookups_;
+    return test_impl(u, i, j);
+  }
+
+  [[nodiscard]] std::uint64_t lookups() const noexcept { return lookups_; }
+  void reset_lookups() const noexcept { lookups_ = 0; }
+
+  [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
+
+ protected:
+  explicit SyndromeOracle(const Graph& g) : graph_(&g) {}
+  [[nodiscard]] virtual bool test_impl(Node u, unsigned i, unsigned j) const = 0;
+
+ private:
+  const Graph* graph_;
+  mutable std::uint64_t lookups_ = 0;
+};
+
+/// Reads a pre-materialised syndrome table.
+class TableOracle final : public SyndromeOracle {
+ public:
+  TableOracle(const Graph& g, const Syndrome& syndrome)
+      : SyndromeOracle(g), syndrome_(&syndrome) {}
+
+ protected:
+  [[nodiscard]] bool test_impl(Node u, unsigned i, unsigned j) const override {
+    return syndrome_->test(u, i, j);
+  }
+
+ private:
+  const Syndrome* syndrome_;
+};
+
+/// Computes results on demand from the (hidden) fault set — the "perform the
+/// test only when consulted" execution mode of §6. Deterministic: repeated
+/// look-ups of the same pair agree.
+class LazyOracle final : public SyndromeOracle {
+ public:
+  LazyOracle(const Graph& g, const FaultSet& faults, FaultyBehavior behavior,
+             std::uint64_t seed)
+      : SyndromeOracle(g), faults_(&faults), behavior_(behavior), seed_(seed) {}
+
+ protected:
+  [[nodiscard]] bool test_impl(Node u, unsigned i, unsigned j) const override {
+    const auto adj = graph().neighbors(u);
+    const Node v = adj[i];
+    const Node w = adj[j];
+    if (!faults_->is_faulty(u)) {
+      return faults_->is_faulty(v) || faults_->is_faulty(w);
+    }
+    return faulty_test_result(behavior_, seed_, u, v, w, faults_->is_faulty(v),
+                              faults_->is_faulty(w));
+  }
+
+ private:
+  const FaultSet* faults_;
+  FaultyBehavior behavior_;
+  std::uint64_t seed_;
+};
+
+/// The all-healthy syndrome (every test 0) — used to calibrate partition
+/// certification without materialising anything.
+class FaultFreeOracle final : public SyndromeOracle {
+ public:
+  explicit FaultFreeOracle(const Graph& g) : SyndromeOracle(g) {}
+
+ protected:
+  [[nodiscard]] bool test_impl(Node, unsigned, unsigned) const override {
+    return false;
+  }
+};
+
+}  // namespace mmdiag

@@ -1,0 +1,43 @@
+#include "mm/syndrome.hpp"
+
+namespace mmdiag {
+
+Syndrome::Syndrome(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  offsets_.resize(n + 1);
+  degree_.resize(n);
+  std::uint64_t total = 0;
+  for (std::size_t u = 0; u < n; ++u) {
+    offsets_[u] = total;
+    const std::uint64_t d = g.degree(static_cast<Node>(u));
+    degree_[u] = static_cast<std::uint32_t>(d);
+    total += d * (d - 1) / 2;
+  }
+  offsets_[n] = total;
+  bits_ = BitVec(total);
+}
+
+Syndrome generate_syndrome(const Graph& g, const FaultSet& faults,
+                           FaultyBehavior behavior, std::uint64_t seed) {
+  Syndrome s(g);
+  const std::size_t n = g.num_nodes();
+  for (std::size_t u = 0; u < n; ++u) {
+    const auto node = static_cast<Node>(u);
+    const auto adj = g.neighbors(node);
+    const bool u_faulty = faults.is_faulty(node);
+    for (unsigned i = 0; i + 1 < adj.size(); ++i) {
+      const bool vi_faulty = faults.is_faulty(adj[i]);
+      for (unsigned j = i + 1; j < adj.size(); ++j) {
+        const bool vj_faulty = faults.is_faulty(adj[j]);
+        const bool result =
+            u_faulty ? faulty_test_result(behavior, seed, node, adj[i], adj[j],
+                                          vi_faulty, vj_faulty)
+                     : (vi_faulty || vj_faulty);
+        s.set_test(node, i, j, result);
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace mmdiag

@@ -1,0 +1,63 @@
+// The syndrome: every node's comparison results over pairs of neighbours.
+//
+// For a node u of degree d there are d(d-1)/2 unordered neighbour pairs;
+// s_u(v,w) is addressed by the *positions* of v and w in u's sorted
+// adjacency list, packed into a triangular bit block per node.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "mm/behavior.hpp"
+#include "mm/fault_set.hpp"
+#include "util/bitvec.hpp"
+#include "util/types.hpp"
+
+namespace mmdiag {
+
+class Syndrome {
+ public:
+  explicit Syndrome(const Graph& g);
+
+  /// s_u over adjacency positions i != j (order irrelevant).
+  [[nodiscard]] bool test(Node u, unsigned i, unsigned j) const noexcept {
+    return bits_.get(pair_index(u, i, j));
+  }
+  void set_test(Node u, unsigned i, unsigned j, bool value) noexcept {
+    bits_.assign(pair_index(u, i, j), value);
+  }
+
+  /// Total number of test results stored: Σ_u d(u)(d(u)-1)/2.
+  [[nodiscard]] std::uint64_t total_tests() const noexcept { return bits_.size(); }
+  [[nodiscard]] std::uint64_t ones() const noexcept { return bits_.count(); }
+  [[nodiscard]] std::uint64_t memory_bytes() const noexcept {
+    return bits_.memory_bytes() + offsets_.size() * sizeof(std::uint64_t) +
+           degree_.size() * sizeof(std::uint32_t);
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t pair_index(Node u, unsigned i, unsigned j) const noexcept {
+    if (i > j) {
+      const unsigned t = i;
+      i = j;
+      j = t;
+    }
+    const std::uint64_t d = degree_[u];
+    // Triangular index of (i,j), i<j, within u's block.
+    return offsets_[u] + i * d - (std::uint64_t{i} * (i + 1)) / 2 + (j - i - 1);
+  }
+
+  std::vector<std::uint64_t> offsets_;  // per-node block start
+  std::vector<std::uint32_t> degree_;
+  BitVec bits_;
+};
+
+/// Materialise the complete syndrome produced by fault set `faults` with the
+/// given faulty-tester behaviour: a healthy u reports s_u(v,w) = 1 iff v or
+/// w is faulty; a faulty u reports whatever the behaviour dictates.
+[[nodiscard]] Syndrome generate_syndrome(const Graph& g, const FaultSet& faults,
+                                         FaultyBehavior behavior,
+                                         std::uint64_t seed);
+
+}  // namespace mmdiag

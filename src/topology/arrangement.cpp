@@ -1,0 +1,46 @@
+#include "topology/arrangement.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mmdiag {
+
+Arrangement::Arrangement(unsigned n, unsigned k) : PermTopology(n, k) {
+  if (n < 2 || n > 16) throw std::invalid_argument("Arrangement: need 2 <= n <= 16");
+  if (k < 1 || k >= n) throw std::invalid_argument("Arrangement: need 1 <= k <= n-1");
+}
+
+TopologyInfo Arrangement::info() const {
+  TopologyInfo t;
+  t.name = "A(" + std::to_string(n_) + "," + std::to_string(k_) + ")";
+  t.family = "arrangement";
+  t.num_nodes = codec_.count();
+  t.degree = k_ * (n_ - k_);
+  t.connectivity = k_ * (n_ - k_);
+  t.diagnosability = diagnosability_by_chang(t.num_nodes, t.degree, t.connectivity);
+  return t;
+}
+
+unsigned Arrangement::default_fault_bound() const {
+  // Theorem 7: at most n-1 faults (the split yields only n components).
+  return std::min(info().diagnosability, n_ - 1);
+}
+
+void Arrangement::neighbors(Node u, std::vector<Node>& out) const {
+  out.clear();
+  std::uint8_t a[64];
+  codec_.unrank(u, a);
+  std::uint64_t used = 0;
+  for (unsigned i = 0; i < k_; ++i) used |= std::uint64_t{1} << (a[i] - 1);
+  for (unsigned i = 0; i < k_; ++i) {
+    const std::uint8_t original = a[i];
+    for (unsigned s = 1; s <= n_; ++s) {
+      if ((used >> (s - 1)) & 1ULL) continue;
+      a[i] = static_cast<std::uint8_t>(s);
+      out.push_back(static_cast<Node>(codec_.rank(a)));
+    }
+    a[i] = original;
+  }
+}
+
+}  // namespace mmdiag

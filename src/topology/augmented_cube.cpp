@@ -1,0 +1,31 @@
+#include "topology/augmented_cube.hpp"
+
+#include <stdexcept>
+
+namespace mmdiag {
+
+AugmentedCube::AugmentedCube(unsigned n) : BitCubeTopology(n) {
+  if (n < 1 || n > 30) throw std::invalid_argument("AugmentedCube: need 1 <= n <= 30");
+}
+
+TopologyInfo AugmentedCube::info() const {
+  TopologyInfo t;
+  t.name = "AQ" + std::to_string(n_);
+  t.family = "augmented_cube";
+  t.num_nodes = std::uint64_t{1} << n_;
+  t.degree = 2 * n_ - 1;
+  // κ(AQ_n) = 2n-1 except the known anomaly κ(AQ_3) = 4 (Choudum & Sunitha).
+  t.connectivity = (n_ == 3) ? 4 : 2 * n_ - 1;
+  t.diagnosability = diagnosability_by_chang(t.num_nodes, t.degree, t.connectivity);
+  return t;
+}
+
+void AugmentedCube::neighbors(Node u, std::vector<Node>& out) const {
+  out.clear();
+  for (unsigned i = 0; i < n_; ++i) out.push_back(u ^ (Node{1} << i));
+  for (unsigned i = 1; i < n_; ++i) {
+    out.push_back(u ^ static_cast<Node>((std::uint64_t{1} << (i + 1)) - 1));
+  }
+}
+
+}  // namespace mmdiag

@@ -1,0 +1,23 @@
+// The augmented cube AQ_n (Choudum & Sunitha [10]).
+//
+// AQ_1 = K_2; AQ_n is two copies of AQ_{n-1} (split on the top bit) with
+// 0w ~ 1w (hypercube edge) and 0w ~ 1w̄ (complement edge). Unfolding the
+// recursion: u is adjacent to u ^ 2^i for every i (n hypercube edges) and to
+// u ^ (2^{i+1} - 1) for i = 1..n-1 (n-1 complement edges — i = 0 would
+// duplicate the dimension-0 hypercube edge).
+// Regular of degree 2n-1, κ = 2n-1, diagnosability 2n-1 for n >= 5.
+#pragma once
+
+#include "topology/bit_cube_base.hpp"
+
+namespace mmdiag {
+
+class AugmentedCube final : public BitCubeTopology {
+ public:
+  explicit AugmentedCube(unsigned n);
+
+  [[nodiscard]] TopologyInfo info() const override;
+  void neighbors(Node u, std::vector<Node>& out) const override;
+};
+
+}  // namespace mmdiag

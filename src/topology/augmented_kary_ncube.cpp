@@ -1,0 +1,56 @@
+#include "topology/augmented_kary_ncube.hpp"
+
+#include <stdexcept>
+
+namespace mmdiag {
+
+AugmentedKAryNCube::AugmentedKAryNCube(unsigned n, unsigned k)
+    : KAryNCube(n, k) {
+  if (n < 2) throw std::invalid_argument("AugmentedKAryNCube: need n >= 2");
+  // k >= 3 keeps all 4n-2 neighbours distinct (for k = 2 the +1 and -1
+  // shifts coincide); the base-class constructor already enforces it.
+}
+
+TopologyInfo AugmentedKAryNCube::info() const {
+  TopologyInfo t;
+  t.name = "AQ_" + std::to_string(n_) + "," + std::to_string(k_);
+  t.family = "augmented_kary_ncube";
+  t.num_nodes = codec_.count;
+  t.degree = 4 * n_ - 2;
+  t.connectivity = 4 * n_ - 2;
+  t.diagnosability =
+      (n_ == 2 && k_ == 3)
+          ? 0
+          : diagnosability_by_chang(t.num_nodes, t.degree, t.connectivity);
+  return t;
+}
+
+void AugmentedKAryNCube::neighbors(Node u, std::vector<Node>& out) const {
+  out.clear();
+  std::uint8_t d[64];
+  codec_.unrank(u, d);
+  // k-ary n-cube edges.
+  std::uint8_t e[64];
+  auto emit = [&]() { out.push_back(static_cast<Node>(codec_.rank(e))); };
+  for (unsigned i = 0; i < n_; ++i) {
+    for (unsigned s = 0; s < n_; ++s) e[s] = d[s];
+    e[i] = static_cast<std::uint8_t>((d[i] + 1) % k_);
+    emit();
+    e[i] = static_cast<std::uint8_t>((d[i] + k_ - 1) % k_);
+    emit();
+  }
+  // Augmenting edges: +- (e_1 + ... + e_i) for i = 2..n, i.e. shift the
+  // lowest i coordinates together.
+  for (unsigned i = 2; i <= n_; ++i) {
+    for (unsigned s = 0; s < n_; ++s) {
+      e[s] = (s < i) ? static_cast<std::uint8_t>((d[s] + 1) % k_) : d[s];
+    }
+    emit();
+    for (unsigned s = 0; s < n_; ++s) {
+      e[s] = (s < i) ? static_cast<std::uint8_t>((d[s] + k_ - 1) % k_) : d[s];
+    }
+    emit();
+  }
+}
+
+}  // namespace mmdiag

@@ -1,0 +1,47 @@
+// Shared machinery for bit-string-addressed cube families.
+//
+// All cube variants in §5.1 name nodes by length-n binary strings; bit i of
+// the node id is address component u_i, with u_{n-1} the paper's "first"
+// component. They all partition by fixing a prefix of address bits, so the
+// plan list is shared: every suffix width, finest split first. The certified
+// partition search (src/core) picks the first width that (a) yields at least
+// δ+1 components and (b) demonstrably certifies on a fault-free component.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "topology/partition.hpp"
+#include "topology/topology.hpp"
+
+namespace mmdiag {
+
+class BitCubeTopology : public Topology {
+ public:
+  explicit BitCubeTopology(unsigned n) : n_(n) {}
+
+  [[nodiscard]] unsigned dimension() const noexcept { return n_; }
+
+  [[nodiscard]] std::string node_label(Node u) const override {
+    std::string s(n_, '0');
+    for (unsigned i = 0; i < n_; ++i) {
+      if ((u >> i) & 1u) s[n_ - 1 - i] = '1';  // print u_{n-1} ... u_0
+    }
+    return s;
+  }
+
+  [[nodiscard]] std::vector<std::shared_ptr<const PartitionPlan>>
+  partition_plans() const override {
+    std::vector<std::shared_ptr<const PartitionPlan>> plans;
+    for (unsigned suffix = 2; suffix < n_; ++suffix) {
+      plans.push_back(std::make_shared<PrefixBitsPlan>(n_, suffix));
+    }
+    return plans;
+  }
+
+ protected:
+  unsigned n_;
+};
+
+}  // namespace mmdiag

@@ -1,0 +1,40 @@
+#include "topology/crossed_cube.hpp"
+
+#include <stdexcept>
+
+namespace mmdiag {
+
+CrossedCube::CrossedCube(unsigned n) : BitCubeTopology(n) {
+  if (n < 1 || n > 30) throw std::invalid_argument("CrossedCube: need 1 <= n <= 30");
+}
+
+TopologyInfo CrossedCube::info() const {
+  TopologyInfo t;
+  t.name = "CQ" + std::to_string(n_);
+  t.family = "crossed_cube";
+  t.num_nodes = std::uint64_t{1} << n_;
+  t.degree = n_;
+  t.connectivity = n_;
+  t.diagnosability = diagnosability_by_chang(t.num_nodes, t.degree, t.connectivity);
+  return t;
+}
+
+Node CrossedCube::neighbor_in_dimension(Node u, unsigned l) const {
+  Node v = u ^ (Node{1} << l);
+  // For each complete pair strictly below dimension l (below l-1 when l is
+  // odd, since condition (3) pins bit l-1), apply the pair-related map:
+  // 00->00, 10->10, 01->11, 11->01, i.e. flip the pair's high bit when the
+  // pair's low bit is set.
+  const unsigned pairs_below = l / 2;
+  for (unsigned i = 0; i < pairs_below; ++i) {
+    if ((u >> (2 * i)) & 1u) v ^= Node{1} << (2 * i + 1);
+  }
+  return v;
+}
+
+void CrossedCube::neighbors(Node u, std::vector<Node>& out) const {
+  out.clear();
+  for (unsigned l = 0; l < n_; ++l) out.push_back(neighbor_in_dimension(u, l));
+}
+
+}  // namespace mmdiag

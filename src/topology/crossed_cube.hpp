@@ -1,0 +1,30 @@
+// The crossed cube CQ_n (Efe [12]).
+//
+// Nodes: {0,1}^n. Two 2-bit strings x1x0, y1y0 are *pair-related* iff
+// (x1x0, y1y0) ∈ {(00,00), (10,10), (01,11), (11,01)} — equivalently
+// x0 == y0 and x1 ^ y1 == x0. u ~ v iff for some dimension l:
+//   (1) bits above l agree, (2) u_l != v_l, (3) if l is odd u_{l-1} = v_{l-1},
+//   (4) every full bit-pair below l is pair-related.
+// The pair relation is deterministic given u, so u has exactly one neighbour
+// per dimension: flip bit l and, for each full pair (2i+1, 2i) below l with
+// u_{2i} = 1, flip bit 2i+1.
+// Regular of degree n, κ = n (Kulasinghe [16]), diagnosability n for n >= 4
+// (Fan [14] / Chang et al. [6]).
+#pragma once
+
+#include "topology/bit_cube_base.hpp"
+
+namespace mmdiag {
+
+class CrossedCube final : public BitCubeTopology {
+ public:
+  explicit CrossedCube(unsigned n);
+
+  [[nodiscard]] TopologyInfo info() const override;
+  void neighbors(Node u, std::vector<Node>& out) const override;
+
+  /// The dimension-l neighbour of u (exposed for tests).
+  [[nodiscard]] Node neighbor_in_dimension(Node u, unsigned l) const;
+};
+
+}  // namespace mmdiag

@@ -1,0 +1,25 @@
+// The enhanced hypercube Q_{n,k} (Tzeng & Wei [22]), 2 <= k <= n.
+//
+// Q_n plus, at every node, one extra edge complementing the low k address
+// bits: u ~ u ^ (2^k - 1). k = n gives the folded hypercube.
+// Regular of degree n+1, κ = n+1, diagnosability n+1 for n >= 4.
+#pragma once
+
+#include "topology/bit_cube_base.hpp"
+
+namespace mmdiag {
+
+class EnhancedHypercube final : public BitCubeTopology {
+ public:
+  EnhancedHypercube(unsigned n, unsigned k);
+
+  [[nodiscard]] TopologyInfo info() const override;
+  void neighbors(Node u, std::vector<Node>& out) const override;
+
+  [[nodiscard]] unsigned k() const noexcept { return k_; }
+
+ private:
+  unsigned k_;
+};
+
+}  // namespace mmdiag

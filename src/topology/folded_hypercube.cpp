@@ -1,0 +1,28 @@
+#include "topology/folded_hypercube.hpp"
+
+#include <stdexcept>
+
+namespace mmdiag {
+
+FoldedHypercube::FoldedHypercube(unsigned n) : BitCubeTopology(n) {
+  if (n < 2 || n > 30) throw std::invalid_argument("FoldedHypercube: need 2 <= n <= 30");
+}
+
+TopologyInfo FoldedHypercube::info() const {
+  TopologyInfo t;
+  t.name = "FQ" + std::to_string(n_);
+  t.family = "folded_hypercube";
+  t.num_nodes = std::uint64_t{1} << n_;
+  t.degree = n_ + 1;
+  t.connectivity = n_ + 1;
+  t.diagnosability = diagnosability_by_chang(t.num_nodes, t.degree, t.connectivity);
+  return t;
+}
+
+void FoldedHypercube::neighbors(Node u, std::vector<Node>& out) const {
+  out.clear();
+  for (unsigned i = 0; i < n_; ++i) out.push_back(u ^ (Node{1} << i));
+  out.push_back(u ^ static_cast<Node>((std::uint64_t{1} << n_) - 1));
+}
+
+}  // namespace mmdiag

@@ -1,0 +1,20 @@
+// The folded hypercube FQ_n (El-Amawy & Latifi [3]).
+//
+// Q_n plus a "complement" edge u ~ ū joining every antipodal pair.
+// Regular of degree n+1, κ = n+1, diagnosability n+1 for n >= 4
+// (Wang [23] / the paper's §5.1).
+#pragma once
+
+#include "topology/bit_cube_base.hpp"
+
+namespace mmdiag {
+
+class FoldedHypercube final : public BitCubeTopology {
+ public:
+  explicit FoldedHypercube(unsigned n);
+
+  [[nodiscard]] TopologyInfo info() const override;
+  void neighbors(Node u, std::vector<Node>& out) const override;
+};
+
+}  // namespace mmdiag

@@ -1,0 +1,49 @@
+#include "topology/nk_star.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mmdiag {
+
+NKStar::NKStar(unsigned n, unsigned k) : PermTopology(n, k) {
+  if (n < 2 || n > 16) throw std::invalid_argument("NKStar: need 2 <= n <= 16");
+  if (k < 1 || k >= n) throw std::invalid_argument("NKStar: need 1 <= k <= n-1");
+}
+
+TopologyInfo NKStar::info() const {
+  TopologyInfo t;
+  t.name = "S(" + std::to_string(n_) + "," + std::to_string(k_) + ")";
+  t.family = "nk_star";
+  t.num_nodes = codec_.count();
+  t.degree = n_ - 1;
+  t.connectivity = n_ - 1;
+  t.diagnosability =
+      (n_ == 3 && k_ == 2)
+          ? 0
+          : diagnosability_by_chang(t.num_nodes, t.degree, t.connectivity);
+  return t;
+}
+
+void NKStar::neighbors(Node u, std::vector<Node>& out) const {
+  out.clear();
+  std::uint8_t a[64];
+  codec_.unrank(u, a);
+  // i-edges: swap position 1 with position i.
+  for (unsigned i = 1; i < k_; ++i) {
+    std::swap(a[0], a[i]);
+    out.push_back(static_cast<Node>(codec_.rank(a)));
+    std::swap(a[0], a[i]);
+  }
+  // 1-edges: substitute any unused symbol into position 1.
+  std::uint64_t used = 0;
+  for (unsigned i = 0; i < k_; ++i) used |= std::uint64_t{1} << (a[i] - 1);
+  const std::uint8_t original = a[0];
+  for (unsigned s = 1; s <= n_; ++s) {
+    if ((used >> (s - 1)) & 1ULL) continue;
+    a[0] = static_cast<std::uint8_t>(s);
+    out.push_back(static_cast<Node>(codec_.rank(a)));
+  }
+  a[0] = original;
+}
+
+}  // namespace mmdiag

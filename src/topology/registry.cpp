@@ -1,0 +1,118 @@
+#include "topology/registry.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "topology/arrangement.hpp"
+#include "topology/augmented_cube.hpp"
+#include "topology/augmented_kary_ncube.hpp"
+#include "topology/crossed_cube.hpp"
+#include "topology/enhanced_hypercube.hpp"
+#include "topology/folded_hypercube.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/kary_ncube.hpp"
+#include "topology/nk_star.hpp"
+#include "topology/pancake.hpp"
+#include "topology/shuffle_cube.hpp"
+#include "topology/star_graph.hpp"
+#include "topology/twisted_cube.hpp"
+#include "topology/twisted_n_cube.hpp"
+
+namespace mmdiag {
+namespace {
+
+[[noreturn]] void bad_params(const std::string& family, std::size_t want,
+                             std::size_t got) {
+  throw std::invalid_argument("topology '" + family + "' expects " +
+                              std::to_string(want) + " parameter(s), got " +
+                              std::to_string(got));
+}
+
+void expect(const std::string& family, const std::vector<unsigned>& p,
+            std::size_t count) {
+  if (p.size() != count) bad_params(family, count, p.size());
+}
+
+}  // namespace
+
+std::vector<std::string> topology_families() {
+  return {"hypercube",     "crossed_cube",  "twisted_cube",
+          "folded_hypercube", "enhanced_hypercube", "augmented_cube",
+          "shuffle_cube",  "twisted_n_cube", "kary_ncube",
+          "augmented_kary_ncube", "star",   "nk_star",
+          "pancake",       "arrangement"};
+}
+
+std::unique_ptr<Topology> make_topology(const std::string& family,
+                                        const std::vector<unsigned>& p) {
+  if (family == "hypercube") {
+    expect(family, p, 1);
+    return std::make_unique<Hypercube>(p[0]);
+  }
+  if (family == "crossed_cube") {
+    expect(family, p, 1);
+    return std::make_unique<CrossedCube>(p[0]);
+  }
+  if (family == "twisted_cube") {
+    expect(family, p, 1);
+    return std::make_unique<TwistedCube>(p[0]);
+  }
+  if (family == "folded_hypercube") {
+    expect(family, p, 1);
+    return std::make_unique<FoldedHypercube>(p[0]);
+  }
+  if (family == "enhanced_hypercube") {
+    expect(family, p, 2);
+    return std::make_unique<EnhancedHypercube>(p[0], p[1]);
+  }
+  if (family == "augmented_cube") {
+    expect(family, p, 1);
+    return std::make_unique<AugmentedCube>(p[0]);
+  }
+  if (family == "shuffle_cube") {
+    expect(family, p, 1);
+    return std::make_unique<ShuffleCube>(p[0]);
+  }
+  if (family == "twisted_n_cube") {
+    expect(family, p, 1);
+    return std::make_unique<TwistedNCube>(p[0]);
+  }
+  if (family == "kary_ncube") {
+    expect(family, p, 2);  // n, k
+    return std::make_unique<KAryNCube>(p[0], p[1]);
+  }
+  if (family == "augmented_kary_ncube") {
+    expect(family, p, 2);  // n, k
+    return std::make_unique<AugmentedKAryNCube>(p[0], p[1]);
+  }
+  if (family == "star") {
+    expect(family, p, 1);
+    return std::make_unique<StarGraph>(p[0]);
+  }
+  if (family == "nk_star") {
+    expect(family, p, 2);  // n, k
+    return std::make_unique<NKStar>(p[0], p[1]);
+  }
+  if (family == "pancake") {
+    expect(family, p, 1);
+    return std::make_unique<Pancake>(p[0]);
+  }
+  if (family == "arrangement") {
+    expect(family, p, 2);  // n, k
+    return std::make_unique<Arrangement>(p[0], p[1]);
+  }
+  throw std::invalid_argument("unknown topology family '" + family + "'");
+}
+
+std::unique_ptr<Topology> make_topology_from_spec(const std::string& spec) {
+  std::istringstream in(spec);
+  std::string family;
+  in >> family;
+  if (family.empty()) throw std::invalid_argument("empty topology spec");
+  std::vector<unsigned> params;
+  unsigned value = 0;
+  while (in >> value) params.push_back(value);
+  return make_topology(family, params);
+}
+
+}  // namespace mmdiag

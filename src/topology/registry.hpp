@@ -1,0 +1,25 @@
+// Name-based topology factory: "hypercube 7", "nk_star 7 3", ...
+// Used by example programs and parameterized tests/benches.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace mmdiag {
+
+/// Family keys accepted by make_topology (stable public identifiers).
+[[nodiscard]] std::vector<std::string> topology_families();
+
+/// Construct a topology from a family key and numeric parameters.
+/// Throws std::invalid_argument on unknown families or bad parameter counts.
+[[nodiscard]] std::unique_ptr<Topology> make_topology(
+    const std::string& family, const std::vector<unsigned>& params);
+
+/// Parse "family n [k]" into a topology (e.g. "kary_ncube 3 4").
+[[nodiscard]] std::unique_ptr<Topology> make_topology_from_spec(
+    const std::string& spec);
+
+}  // namespace mmdiag

@@ -1,0 +1,54 @@
+#include "topology/shuffle_cube.hpp"
+
+#include <stdexcept>
+
+namespace mmdiag {
+
+const std::array<std::array<unsigned, 4>, 4>& ShuffleCube::mask_table() {
+  // V_c per suffix class c = u1u0. Each set: four distinct nonzero 4-bit
+  // masks, closed under nothing in particular — symmetry of the edge
+  // relation holds because v = (p^q)·w keeps the suffix class, so q ∈ V_c
+  // on both endpoints. Chosen so the union over classes covers all 15
+  // nonzero masks; κ(SQ_6) = 6 verified in tests.
+  static const std::array<std::array<unsigned, 4>, 4> table = {{
+      {{0x1, 0x2, 0x3, 0xF}},  // V_00
+      {{0x4, 0x5, 0x6, 0x7}},  // V_01
+      {{0x8, 0x9, 0xA, 0xB}},  // V_10
+      {{0xC, 0xD, 0xE, 0xF}},  // V_11
+  }};
+  return table;
+}
+
+ShuffleCube::ShuffleCube(unsigned n) : BitCubeTopology(n) {
+  if (n < 2 || n > 30 || n % 4 != 2) {
+    throw std::invalid_argument("ShuffleCube: need n = 4k+2 in [2,30]");
+  }
+}
+
+TopologyInfo ShuffleCube::info() const {
+  TopologyInfo t;
+  t.name = "SQ" + std::to_string(n_);
+  t.family = "shuffle_cube";
+  t.num_nodes = std::uint64_t{1} << n_;
+  t.degree = n_;
+  t.connectivity = n_;
+  t.diagnosability = diagnosability_by_chang(t.num_nodes, t.degree, t.connectivity);
+  return t;
+}
+
+void ShuffleCube::neighbors(Node u, std::vector<Node>& out) const {
+  out.clear();
+  const unsigned cls = u & 3u;  // suffix class from the lowest two bits
+  // Cross edges at each recursion level, peeling 4 bits at a time.
+  for (unsigned level = n_; level >= 6; level -= 4) {
+    const unsigned shift = level - 4;  // top-4 block of this level
+    for (const unsigned q : mask_table()[cls]) {
+      out.push_back(u ^ (static_cast<Node>(q) << shift));
+    }
+  }
+  // Base SQ_2 = Q_2 on the lowest two bits.
+  out.push_back(u ^ 1u);
+  out.push_back(u ^ 2u);
+}
+
+}  // namespace mmdiag

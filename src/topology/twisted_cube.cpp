@@ -1,0 +1,44 @@
+#include "topology/twisted_cube.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace mmdiag {
+
+TwistedCube::TwistedCube(unsigned n) : BitCubeTopology(n) {
+  if (n < 1 || n > 29 || n % 2 == 0) {
+    throw std::invalid_argument("TwistedCube: need odd n in [1,29]");
+  }
+}
+
+TopologyInfo TwistedCube::info() const {
+  TopologyInfo t;
+  t.name = "TQ" + std::to_string(n_);
+  t.family = "twisted_cube";
+  t.num_nodes = std::uint64_t{1} << n_;
+  t.degree = n_;
+  t.connectivity = n_;
+  t.diagnosability = diagnosability_by_chang(t.num_nodes, t.degree, t.connectivity);
+  return t;
+}
+
+void TwistedCube::neighbors(Node u, std::vector<Node>& out) const {
+  out.clear();
+  // Peel two dimensions per level, top-down; the final level is TQ_1.
+  for (unsigned level = n_; level >= 3; level -= 2) {
+    const Node hi = Node{1} << (level - 1);
+    const Node lo = Node{1} << (level - 2);
+    const Node w = u & (lo - 1);
+    const bool parity = (std::popcount(static_cast<std::uint32_t>(w)) & 1) != 0;
+    if (parity) {
+      out.push_back(u ^ lo);
+      out.push_back(u ^ hi ^ lo);
+    } else {
+      out.push_back(u ^ hi);
+      out.push_back(u ^ hi ^ lo);
+    }
+  }
+  out.push_back(u ^ 1u);  // TQ_1 edge
+}
+
+}  // namespace mmdiag

@@ -1,0 +1,26 @@
+// The twisted cube TQ_n (Hilbers–Koopman–van de Snepscheut [15]), odd n.
+//
+// Recursive characterisation: TQ_1 = K_2. For odd n >= 3 write
+// u = (u_{n-1}, u_{n-2}, w) with w the low n-2 bits and f(w) the parity of w.
+// TQ_n consists of four copies of TQ_{n-2} indexed by the top two bits, plus
+// cross edges per node:
+//   f(w) = 0:  u ~ (~u_{n-1},  u_{n-2}, w)  and  u ~ (~u_{n-1}, ~u_{n-2}, w)
+//   f(w) = 1:  u ~ ( u_{n-1}, ~u_{n-2}, w)  and  u ~ (~u_{n-1}, ~u_{n-2}, w)
+// Regular of degree n; κ = n (Chang–Wang–Hsu [7]); diagnosability n for
+// n >= 5. The reconstruction is validated computationally (regularity and
+// exact vertex connectivity on TQ_3/TQ_5/TQ_7) in topology_props_test.
+#pragma once
+
+#include "topology/bit_cube_base.hpp"
+
+namespace mmdiag {
+
+class TwistedCube final : public BitCubeTopology {
+ public:
+  explicit TwistedCube(unsigned n);  // n odd, 1 <= n <= 29
+
+  [[nodiscard]] TopologyInfo info() const override;
+  void neighbors(Node u, std::vector<Node>& out) const override;
+};
+
+}  // namespace mmdiag

@@ -1,0 +1,29 @@
+#include "topology/twisted_n_cube.hpp"
+
+#include <stdexcept>
+
+namespace mmdiag {
+
+TwistedNCube::TwistedNCube(unsigned n) : BitCubeTopology(n) {
+  if (n < 2 || n > 30) throw std::invalid_argument("TwistedNCube: need 2 <= n <= 30");
+}
+
+TopologyInfo TwistedNCube::info() const {
+  TopologyInfo t;
+  t.name = "TQ'" + std::to_string(n_);
+  t.family = "twisted_n_cube";
+  t.num_nodes = std::uint64_t{1} << n_;
+  t.degree = n_;
+  t.connectivity = n_;
+  t.diagnosability = diagnosability_by_chang(t.num_nodes, t.degree, t.connectivity);
+  return t;
+}
+
+void TwistedNCube::neighbors(Node u, std::vector<Node>& out) const {
+  out.clear();
+  // Dimension 0: twisted on the four nodes with zero address above bit 1.
+  out.push_back((u >> 2) == 0 ? (u ^ 3u) : (u ^ 1u));
+  for (unsigned i = 1; i < n_; ++i) out.push_back(u ^ (Node{1} << i));
+}
+
+}  // namespace mmdiag

@@ -1,0 +1,23 @@
+// The twisted N-cube TQ'_n (Esfahanian–Ni–Sagan [13]).
+//
+// Q_n with one 4-cycle rewired: on C = {0...000, 0...001, 0...011, 0...010}
+// the two dimension-0 edges are replaced by the two diagonals, i.e. for
+// nodes whose address is zero above bit 1, the dimension-0 neighbour is
+// u ^ 3 instead of u ^ 1. Fixing the top address bit splits TQ'_n into a
+// copy of Q_{n-1} (top bit 1) and a copy of TQ'_{n-1} (top bit 0), exactly
+// as §5.1 requires. Regular of degree n, κ = n, diagnosability n for n >= 4.
+#pragma once
+
+#include "topology/bit_cube_base.hpp"
+
+namespace mmdiag {
+
+class TwistedNCube final : public BitCubeTopology {
+ public:
+  explicit TwistedNCube(unsigned n);
+
+  [[nodiscard]] TopologyInfo info() const override;
+  void neighbors(Node u, std::vector<Node>& out) const override;
+};
+
+}  // namespace mmdiag

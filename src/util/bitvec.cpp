@@ -1,0 +1,20 @@
+#include "util/bitvec.hpp"
+
+#include <bit>
+
+namespace mmdiag {
+
+std::uint64_t BitVec::count() const noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    std::uint64_t w = words_[i];
+    // Mask tail bits of the final partial word.
+    if (i + 1 == words_.size() && (size_ & 63) != 0) {
+      w &= (1ULL << (size_ & 63)) - 1;
+    }
+    total += static_cast<std::uint64_t>(std::popcount(w));
+  }
+  return total;
+}
+
+}  // namespace mmdiag

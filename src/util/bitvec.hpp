@@ -1,0 +1,89 @@
+// Packed bit vector and an epoch-stamped node-set.
+//
+// BitVec backs syndrome tables (hundreds of millions of bits).
+// StampSet gives O(1) clear between repeated algorithm runs over the same
+// graph, which keeps Set_Builder at O(Δ·|U_r|) rather than O(N) per probe.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace mmdiag {
+
+/// Fixed-size packed vector of bits.
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::uint64_t n, bool value = false)
+      : size_(n), words_((n + 63) / 64, value ? ~0ULL : 0ULL) {}
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
+
+  [[nodiscard]] bool get(std::uint64_t i) const noexcept {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+  void set(std::uint64_t i) noexcept { words_[i >> 6] |= 1ULL << (i & 63); }
+  void reset(std::uint64_t i) noexcept { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+  void assign(std::uint64_t i, bool v) noexcept {
+    if (v) {
+      set(i);
+    } else {
+      reset(i);
+    }
+  }
+
+  void clear_all() noexcept {
+    for (auto& w : words_) w = 0;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept;
+
+  /// Bytes of heap storage (used by memory accounting in benches).
+  [[nodiscard]] std::uint64_t memory_bytes() const noexcept {
+    return words_.size() * sizeof(std::uint64_t);
+  }
+
+ private:
+  std::uint64_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// A set over [0, n) supporting O(1) insert/lookup and O(1) bulk clear via
+/// epoch stamps. Membership survives only until the next clear().
+class StampSet {
+ public:
+  StampSet() = default;
+  explicit StampSet(std::size_t n) : stamp_(n, 0) {}
+
+  void resize(std::size_t n) {
+    stamp_.assign(n, 0);
+    epoch_ = 1;
+  }
+
+  void clear() noexcept {
+    ++epoch_;
+    if (epoch_ == 0) {  // wrapped: do the rare O(n) reset
+      std::fill(stamp_.begin(), stamp_.end(), 0u);
+      epoch_ = 1;
+    }
+  }
+
+  [[nodiscard]] bool contains(Node v) const noexcept { return stamp_[v] == epoch_; }
+
+  /// Returns true if v was newly inserted.
+  bool insert(Node v) noexcept {
+    if (stamp_[v] == epoch_) return false;
+    stamp_[v] = epoch_;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return stamp_.size(); }
+
+ private:
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t epoch_ = 1;
+};
+
+}  // namespace mmdiag

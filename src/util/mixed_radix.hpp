@@ -1,0 +1,44 @@
+// Mixed-radix encoding of tuples in Z_k^n (k-ary n-cube node names).
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace mmdiag {
+
+/// Tuples are little-endian: digit 0 is coordinate 1 of the papers (the
+/// "lowest" dimension); node id = sum digit_i * k^i.
+struct TupleCodec {
+  unsigned n;       // number of coordinates
+  unsigned k;       // radix
+  std::uint64_t count;  // k^n
+
+  TupleCodec(unsigned n_, unsigned k_) : n(n_), k(k_), count(1) {
+    for (unsigned i = 0; i < n; ++i) count *= k;
+  }
+
+  void unrank(std::uint64_t id, std::uint8_t* out) const noexcept {
+    for (unsigned i = 0; i < n; ++i) {
+      out[i] = static_cast<std::uint8_t>(id % k);
+      id /= k;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t rank(const std::uint8_t* digits) const noexcept {
+    std::uint64_t id = 0;
+    for (unsigned i = n; i-- > 0;) id = id * k + digits[i];
+    return id;
+  }
+
+  /// Replace coordinate i of id with value v (digits otherwise unchanged).
+  [[nodiscard]] std::uint64_t with_digit(std::uint64_t id, unsigned i,
+                                         unsigned v) const noexcept {
+    std::uint64_t p = 1;
+    for (unsigned j = 0; j < i; ++j) p *= k;
+    const auto old = (id / p) % k;
+    return id + (static_cast<std::uint64_t>(v) - old) * p;
+  }
+};
+
+}  // namespace mmdiag

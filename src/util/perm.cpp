@@ -1,0 +1,74 @@
+#include "util/perm.hpp"
+
+#include <stdexcept>
+
+namespace mmdiag {
+
+std::uint64_t falling_factorial(unsigned n, unsigned k) {
+  if (k > n) throw std::invalid_argument("falling_factorial: k > n");
+  std::uint64_t result = 1;
+  for (unsigned i = 0; i < k; ++i) {
+    const std::uint64_t factor = n - i;
+    if (result > UINT64_MAX / factor) {
+      throw std::overflow_error("falling_factorial overflows 64 bits");
+    }
+    result *= factor;
+  }
+  return result;
+}
+
+std::uint64_t factorial(unsigned n) { return falling_factorial(n, n); }
+
+PermCodec::PermCodec(unsigned n, unsigned k) : n_(n), k_(k) {
+  if (k == 0 || k > n) throw std::invalid_argument("PermCodec: need 1 <= k <= n");
+  if (n > 64) throw std::invalid_argument("PermCodec: n too large");
+  count_ = falling_factorial(n, k);
+  place_value_.resize(k);
+  // Position i has n-i symbol choices, so its place value is the number of
+  // arrangements of the remaining positions: place[k-1] = 1 and
+  // place[i-1] = place[i] * (n-i).
+  std::uint64_t v = 1;
+  for (unsigned i = k; i-- > 0;) {
+    place_value_[i] = v;
+    v *= (n - i);
+  }
+}
+
+void PermCodec::unrank(std::uint64_t rank, std::uint8_t* out) const {
+  // Decode the mixed-radix digits, then map digit -> i-th unused symbol.
+  std::uint8_t digits[64];
+  for (unsigned i = 0; i < k_; ++i) {
+    digits[i] = static_cast<std::uint8_t>(rank / place_value_[i]);
+    rank %= place_value_[i];
+  }
+  std::uint64_t used = 0;  // bitmask over symbols 1..n (bit s-1)
+  for (unsigned i = 0; i < k_; ++i) {
+    // Find the (digits[i]+1)-th unset symbol.
+    unsigned remaining = digits[i];
+    unsigned s = 0;
+    for (;; ++s) {
+      if (((used >> s) & 1ULL) == 0) {
+        if (remaining == 0) break;
+        --remaining;
+      }
+    }
+    used |= 1ULL << s;
+    out[i] = static_cast<std::uint8_t>(s + 1);
+  }
+}
+
+std::uint64_t PermCodec::rank(const std::uint8_t* arrangement) const {
+  std::uint64_t rank = 0;
+  std::uint64_t used = 0;
+  for (unsigned i = 0; i < k_; ++i) {
+    const unsigned s = arrangement[i] - 1;
+    // Digit = number of unused symbols smaller than s.
+    const std::uint64_t below = used & ((1ULL << s) - 1);
+    const unsigned digit = s - static_cast<unsigned>(__builtin_popcountll(below));
+    rank += digit * place_value_[i];
+    used |= 1ULL << s;
+  }
+  return rank;
+}
+
+}  // namespace mmdiag

@@ -1,0 +1,48 @@
+// Ranking / unranking of k-permutations ("arrangements") of {1,...,n}.
+//
+// Star graphs, (n,k)-stars, pancake graphs and arrangement graphs all name
+// their nodes by sequences of k distinct symbols drawn from {1..n}. We index
+// them densely in [0, n!/(n-k)!) with a mixed-radix Lehmer-style code:
+// position 0 has n choices, position 1 has n-1 remaining choices, etc.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace mmdiag {
+
+/// n!/(n-k)! as a 64-bit value. Throws std::overflow_error if it does not fit.
+[[nodiscard]] std::uint64_t falling_factorial(unsigned n, unsigned k);
+
+/// n! (n <= 20).
+[[nodiscard]] std::uint64_t factorial(unsigned n);
+
+/// Encoder/decoder between dense ranks and arrangements.
+///
+/// Symbols are 1-based (1..n) to match the interconnection-network
+/// literature; an arrangement is stored as a vector of k symbols, position 0
+/// being "the first position" of the papers.
+class PermCodec {
+ public:
+  PermCodec(unsigned n, unsigned k);
+
+  [[nodiscard]] unsigned n() const noexcept { return n_; }
+  [[nodiscard]] unsigned k() const noexcept { return k_; }
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+  /// rank -> arrangement (out must have size k).
+  void unrank(std::uint64_t rank, std::uint8_t* out) const;
+
+  /// arrangement -> rank.
+  [[nodiscard]] std::uint64_t rank(const std::uint8_t* arrangement) const;
+
+ private:
+  unsigned n_;
+  unsigned k_;
+  std::uint64_t count_;
+  std::vector<std::uint64_t> place_value_;  // place_value_[i] = (n-1-i)!/(n-k)!
+};
+
+}  // namespace mmdiag

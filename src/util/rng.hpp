@@ -1,0 +1,97 @@
+// Small deterministic PRNG utilities.
+//
+// All randomness in the library (fault injection, faulty-tester behaviour)
+// flows through these generators so that every experiment is reproducible
+// from a single 64-bit seed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mmdiag {
+
+/// SplitMix64 — used to seed other generators and as a stateless hash.
+/// Reference: Steele, Lea & Flood, "Fast splittable pseudorandom number
+/// generators" (OOPSLA 2014).
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Stateless mixing of several words into one hash; used where a test result
+/// must be an *arbitrary but repeatable* function of its arguments (the
+/// random faulty-tester behaviour).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t a, std::uint64_t b) noexcept {
+  return splitmix64(a ^ splitmix64(b));
+}
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t a, std::uint64_t b,
+                                            std::uint64_t c) noexcept {
+  return splitmix64(mix64(a, b) ^ splitmix64(c));
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna) — the workhorse sequential generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    // Expand the seed through SplitMix64 as recommended by the authors.
+    for (auto& word : state_) {
+      seed = splitmix64(seed);
+      word = seed;
+    }
+  }
+
+  [[nodiscard]] result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be nonzero.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept {
+    // Lemire's nearly-divisionless rejection method.
+    std::uint64_t x = (*this)();
+    unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<unsigned __int128>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  [[nodiscard]] bool coin() noexcept { return ((*this)() >> 63) != 0; }
+
+  /// Uniform double in [0,1).
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace mmdiag

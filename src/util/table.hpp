@@ -1,0 +1,38 @@
+// Minimal aligned-column table writer for bench/example output.
+//
+// Benches print the rows the paper's evaluation implies (per-theorem sweeps,
+// §6 look-up comparisons) in both human-readable and CSV form.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace mmdiag {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Format helpers.
+  template <typename T, typename = std::enable_if_t<std::is_integral_v<T>>>
+  static std::string num(T v) {
+    return std::to_string(v);
+  }
+  static std::string num(double v, int precision = 3);
+
+  void print(std::ostream& os) const;       // aligned text
+  void print_csv(std::ostream& os) const;   // machine readable
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mmdiag

@@ -1,0 +1,24 @@
+// Monotonic wall-clock timer for example programs and ad-hoc measurements.
+// (Benches use google-benchmark's timing; this is for examples/tests.)
+#pragma once
+
+#include <chrono>
+
+namespace mmdiag {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace mmdiag

@@ -1,0 +1,18 @@
+// Fundamental scalar types shared by every mmdiag module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mmdiag {
+
+/// Node identifier. Topologies index their nodes densely in [0, num_nodes).
+using Node = std::uint32_t;
+
+/// Sentinel used where "no node" must be representable (e.g. tree roots).
+inline constexpr Node kNoNode = static_cast<Node>(-1);
+
+/// Edge/adjacency offsets can exceed 32 bits on large instances.
+using EdgeIndex = std::uint64_t;
+
+}  // namespace mmdiag

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/connectivity.hpp"
+
+namespace mmdiag {
+namespace {
+
+Graph complete_graph(std::size_t n) {
+  std::vector<std::pair<Node, Node>> edges;
+  for (Node i = 0; i < n; ++i) {
+    for (Node j = i + 1; j < n; ++j) edges.emplace_back(i, j);
+  }
+  return build_graph_from_edges(n, edges);
+}
+
+Graph cycle_graph(std::size_t n) {
+  std::vector<std::pair<Node, Node>> edges;
+  for (Node i = 0; i < n; ++i) edges.emplace_back(i, static_cast<Node>((i + 1) % n));
+  return build_graph_from_edges(n, edges);
+}
+
+Graph petersen() {
+  // Outer 5-cycle 0..4, inner pentagram 5..9, spokes i -- i+5.
+  std::vector<std::pair<Node, Node>> edges;
+  for (Node i = 0; i < 5; ++i) {
+    edges.emplace_back(i, (i + 1) % 5);
+    edges.emplace_back(i + 5, ((i + 2) % 5) + 5);
+    edges.emplace_back(i, i + 5);
+  }
+  return build_graph_from_edges(10, edges);
+}
+
+TEST(Connectivity, CompleteGraph) {
+  EXPECT_EQ(vertex_connectivity(complete_graph(5)), 4u);
+}
+
+TEST(Connectivity, CycleIsTwoConnected) {
+  EXPECT_EQ(vertex_connectivity(cycle_graph(7)), 2u);
+}
+
+TEST(Connectivity, PathIsOneConnected) {
+  EXPECT_EQ(vertex_connectivity(build_graph_from_edges(4, {{0, 1}, {1, 2}, {2, 3}})),
+            1u);
+}
+
+TEST(Connectivity, PetersenIsThreeConnected) {
+  EXPECT_EQ(vertex_connectivity(petersen()), 3u);
+}
+
+TEST(Connectivity, DisconnectedIsZero) {
+  EXPECT_EQ(vertex_connectivity(build_graph_from_edges(4, {{0, 1}, {2, 3}})), 0u);
+}
+
+TEST(Connectivity, LocalConnectivityMengerOnCycle) {
+  const Graph g = cycle_graph(8);
+  EXPECT_EQ(local_vertex_connectivity(g, 0, 4), 2u);
+  EXPECT_THROW(local_vertex_connectivity(g, 0, 1), std::invalid_argument);
+  EXPECT_THROW(local_vertex_connectivity(g, 0, 0), std::invalid_argument);
+}
+
+TEST(Connectivity, MinVertexCutSeparates) {
+  // Two triangles joined through a single articulation vertex 2.
+  const Graph g = build_graph_from_edges(
+      5, {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 2}});
+  const auto cut = min_vertex_cut(g, 0, 4);
+  ASSERT_EQ(cut.size(), 1u);
+  EXPECT_EQ(cut[0], 2u);
+  EXPECT_TRUE(is_articulation_set(g, cut));
+  EXPECT_FALSE(is_articulation_set(g, {0}));
+}
+
+TEST(Connectivity, MinCutSizeMatchesLocalConnectivity) {
+  const Graph g = petersen();
+  const auto cut = min_vertex_cut(g, 0, 7);  // non-adjacent pair
+  EXPECT_EQ(cut.size(), local_vertex_connectivity(g, 0, 7));
+  EXPECT_TRUE(is_articulation_set(g, cut));
+}
+
+TEST(Connectivity, ArticulationSetRejectsFullCover) {
+  const Graph g = cycle_graph(3);
+  EXPECT_THROW(is_articulation_set(g, {0, 1, 2}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mmdiag

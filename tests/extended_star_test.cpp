@@ -1,0 +1,70 @@
+// Extended-star constructions (Fig. 2 structures for the Chiang-Tan
+// baseline): validity at every root, and the generic greedy fallback.
+#include <gtest/gtest.h>
+
+#include "baselines/extended_star.hpp"
+#include "test_util.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/star_graph.hpp"
+
+namespace mmdiag {
+namespace {
+
+TEST(ExtendedStarHypercube, ValidAtEveryRoot) {
+  for (unsigned n = 5; n <= 8; ++n) {
+    const Hypercube topo(n);
+    const Graph g = topo.build_graph();
+    for (Node x = 0; x < g.num_nodes(); ++x) {
+      const auto es = extended_star_hypercube(topo, x);
+      ASSERT_EQ(es.branches.size(), n);
+      ASSERT_TRUE(extended_star_valid(g, es)) << "n=" << n << " x=" << x;
+    }
+  }
+}
+
+TEST(ExtendedStarHypercube, RejectsSmallDimensions) {
+  const Hypercube q4(4);
+  EXPECT_THROW(extended_star_hypercube(q4, 0), std::invalid_argument);
+}
+
+TEST(ExtendedStarStarGraph, ValidAtEveryRoot) {
+  for (unsigned n = 5; n <= 7; ++n) {
+    const StarGraph topo(n);
+    const Graph g = topo.build_graph();
+    for (Node x = 0; x < g.num_nodes(); ++x) {
+      const auto es = extended_star_star_graph(topo, x);
+      ASSERT_EQ(es.branches.size(), n - 1);
+      ASSERT_TRUE(extended_star_valid(g, es)) << "n=" << n << " x=" << x;
+    }
+  }
+}
+
+TEST(ExtendedStarValid, DetectsBrokenStructures) {
+  test::Instance inst("hypercube 5");
+  const Hypercube topo(5);
+  auto es = extended_star_hypercube(topo, 0);
+  // Duplicate a node across branches.
+  es.branches[1][3] = es.branches[0][3];
+  EXPECT_FALSE(extended_star_valid(inst.graph, es));
+  // Break adjacency.
+  auto es2 = extended_star_hypercube(topo, 0);
+  es2.branches[0][2] = es2.branches[0][0];
+  EXPECT_FALSE(extended_star_valid(inst.graph, es2));
+}
+
+TEST(ExtendedStarGreedy, WorksOnCrossedCube) {
+  test::Instance inst("crossed_cube 6");
+  for (Node x = 0; x < inst.graph.num_nodes(); x += 7) {
+    const auto es = extended_star_greedy(inst.graph, x, 6);
+    ASSERT_TRUE(es.has_value()) << "x=" << x;
+    EXPECT_TRUE(extended_star_valid(inst.graph, *es));
+  }
+}
+
+TEST(ExtendedStarGreedy, FailsGracefullyOnTinyGraphs) {
+  test::Instance inst("hypercube 2");  // only 4 nodes: no depth-4 paths
+  EXPECT_EQ(extended_star_greedy(inst.graph, 0, 2), std::nullopt);
+}
+
+}  // namespace
+}  // namespace mmdiag

@@ -1,0 +1,113 @@
+// Failure injection: behaviour beyond the |F| <= δ promise, unsupported
+// parameter regimes, and API misuse must fail loudly, never silently lie.
+#include <gtest/gtest.h>
+
+#include "core/certified_partition.hpp"
+#include "core/diagnoser.hpp"
+#include "core/verifier.hpp"
+#include "mm/injector.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace mmdiag {
+namespace {
+
+TEST(FailureInjection, OverloadedFaultCountNeverSilentlyWrong) {
+  // With |F| > delta the guarantee is void; the verified pipeline must
+  // either still produce the exact answer or report failure — never a wrong
+  // answer marked success.
+  test::Instance inst("hypercube 7");
+  Diagnoser diagnoser(*inst.topo, inst.graph);
+  Rng rng(6);
+  int failures = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    const unsigned count = 8 + static_cast<unsigned>(trial % 5);  // > delta=7
+    const FaultSet faults(128, inject_uniform(128, count, rng));
+    const LazyOracle oracle(inst.graph, faults, FaultyBehavior::kRandom, trial);
+    const auto result = diagnose_and_verify(diagnoser, oracle);
+    if (result.success) {
+      EXPECT_EQ(result.faults, faults.nodes()) << "trial " << trial;
+    } else {
+      ++failures;
+      EXPECT_FALSE(result.failure_reason.empty());
+    }
+  }
+  // Massive overloads must be detectable at least sometimes.
+  const FaultSet heavy(128, inject_uniform(128, 60, rng));
+  const LazyOracle oracle(inst.graph, heavy, FaultyBehavior::kAllZero, 1);
+  const auto result = diagnose_and_verify(diagnoser, oracle);
+  EXPECT_FALSE(result.success);
+}
+
+TEST(FailureInjection, AllFaultyComponentsExhaustProbes) {
+  // Place faults so that delta+1 = 8 probed components each contain one:
+  // no probe can certify and the driver reports failure honestly.
+  test::Instance inst("hypercube 7");
+  Diagnoser diagnoser(*inst.topo, inst.graph);
+  const PartitionPlan& plan = *diagnoser.partition().plan;
+  ASSERT_GE(plan.num_components(), 8u);
+  std::vector<Node> faults_vec;
+  for (std::uint32_t c = 0; c < 8; ++c) {
+    faults_vec.push_back(plan.seed_of(c));  // hit every probed seed
+  }
+  const FaultSet faults(128, faults_vec);  // |F| = 8 > delta = 7
+  const LazyOracle oracle(inst.graph, faults, FaultyBehavior::kAllOne, 0);
+  const auto result = diagnoser.diagnose(oracle);
+  EXPECT_FALSE(result.success);
+  EXPECT_NE(result.failure_reason.find("probes"), std::string::npos);
+}
+
+TEST(FailureInjection, UnsupportedFamiliesThrowAtConstruction) {
+  {
+    test::Instance inst("nk_star 6 2");  // clique components (DESIGN §4.3)
+    EXPECT_THROW(Diagnoser(*inst.topo, inst.graph), DiagnosisUnsupportedError);
+  }
+  {
+    test::Instance inst("hypercube 5");  // too few certifiable components
+    EXPECT_THROW(Diagnoser(*inst.topo, inst.graph), DiagnosisUnsupportedError);
+  }
+}
+
+TEST(FailureInjection, DeltaZeroDefaultRejected) {
+  // kary_ncube (3,3) is on the paper's exclusion list: diagnosability
+  // unknown, so the default-delta constructor must refuse.
+  test::Instance inst("kary_ncube 3 3");
+  EXPECT_EQ(inst.topo->default_fault_bound(), 0u);
+  EXPECT_THROW(Diagnoser(*inst.topo, inst.graph), DiagnosisUnsupportedError);
+}
+
+TEST(FailureInjection, CorruptSyndromeCaughtByVerification) {
+  // Flip one healthy tester's bit after generation: the claimed diagnosis
+  // may shift; verification against the corrupted syndrome must flag any
+  // inconsistency rather than trust the driver.
+  test::Instance inst("hypercube 7");
+  Diagnoser diagnoser(*inst.topo, inst.graph);
+  Rng rng(9);
+  const FaultSet faults(128, inject_uniform(128, 4, rng));
+  Syndrome syndrome =
+      generate_syndrome(inst.graph, faults, FaultyBehavior::kRandom, 2);
+  // Corrupt: healthy node 0 reporting 1 about two healthy neighbours.
+  Node healthy = 0;
+  while (faults.is_faulty(healthy)) ++healthy;
+  syndrome.set_test(healthy, 0, 1, !syndrome.test(healthy, 0, 1));
+  const TableOracle oracle(inst.graph, syndrome);
+  const auto result = diagnose_and_verify(diagnoser, oracle);
+  if (result.success) {
+    // Only acceptable if the corruption happened to mimic a consistent
+    // configuration — then the answer must still be a consistent set.
+    EXPECT_TRUE(syndrome_consistent(inst.graph, oracle,
+                                    FaultSet(128, result.faults)));
+  } else {
+    EXPECT_FALSE(result.failure_reason.empty());
+  }
+}
+
+TEST(FailureInjection, BadSeedsAndRanges) {
+  test::Instance inst("hypercube 7");
+  const FaultFreeOracle oracle(inst.graph);
+  SetBuilder builder(inst.graph);
+  EXPECT_THROW(builder.run(oracle, 4096, 7), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mmdiag

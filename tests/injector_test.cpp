@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mm/injector.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace mmdiag {
+namespace {
+
+TEST(InjectUniform, DistinctAndInRange) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto f = inject_uniform(100, 10, rng);
+    EXPECT_EQ(f.size(), 10u);
+    std::set<Node> s(f.begin(), f.end());
+    EXPECT_EQ(s.size(), 10u);
+    for (const Node v : f) EXPECT_LT(v, 100u);
+  }
+}
+
+TEST(InjectUniform, ApproximatelyUniformCoverage) {
+  Rng rng(6);
+  std::vector<int> hits(20, 0);
+  for (int trial = 0; trial < 4000; ++trial) {
+    for (const Node v : inject_uniform(20, 2, rng)) ++hits[v];
+  }
+  for (const int h : hits) {
+    EXPECT_GT(h, 250);  // expected 400 each
+    EXPECT_LT(h, 560);
+  }
+}
+
+TEST(InjectUniform, EdgeCases) {
+  Rng rng(1);
+  EXPECT_TRUE(inject_uniform(5, 0, rng).empty());
+  const auto all = inject_uniform(5, 5, rng);
+  EXPECT_EQ(std::set<Node>(all.begin(), all.end()).size(), 5u);
+  EXPECT_THROW(inject_uniform(3, 4, rng), std::invalid_argument);
+}
+
+TEST(InjectSurround, ExactNeighbourSet) {
+  test::Instance inst("hypercube 4");
+  const auto f = inject_surround(inst.graph, 0);
+  EXPECT_EQ(test::sorted(f), (std::vector<Node>{1, 2, 4, 8}));
+}
+
+TEST(InjectClustered, BfsBall) {
+  test::Instance inst("hypercube 4");
+  const auto f = inject_clustered(inst.graph, 0, 5);
+  // Centre plus its four neighbours.
+  EXPECT_EQ(test::sorted(f), (std::vector<Node>{0, 1, 2, 4, 8}));
+  EXPECT_THROW(inject_clustered(inst.graph, 0, 17), std::invalid_argument);
+}
+
+TEST(InjectWhere, RespectsPredicate) {
+  Rng rng(9);
+  const auto f =
+      inject_where(50, 5, [](Node v) { return v % 2 == 0; }, rng);
+  EXPECT_EQ(f.size(), 5u);
+  for (const Node v : f) EXPECT_EQ(v % 2, 0u);
+  EXPECT_THROW(inject_where(10, 6, [](Node v) { return v < 3; }, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mmdiag

@@ -1,0 +1,117 @@
+// Syndrome file format: round trips, malformed-input rejection, and
+// diagnosis through the serialisation boundary.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/diagnoser.hpp"
+#include "io/syndrome_io.hpp"
+#include "mm/injector.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace mmdiag {
+namespace {
+
+TEST(SyndromeIo, RoundTripPreservesEveryBit) {
+  for (const char* spec : {"hypercube 5", "star 4", "kary_ncube 2 5"}) {
+    SCOPED_TRACE(spec);
+    test::Instance inst(spec);
+    Rng rng(1);
+    const FaultSet faults(inst.graph.num_nodes(),
+                          inject_uniform(inst.graph.num_nodes(), 3, rng));
+    const Syndrome original =
+        generate_syndrome(inst.graph, faults, FaultyBehavior::kRandom, 9);
+    std::stringstream buffer;
+    write_syndrome(buffer, spec, inst.graph, original);
+    const LoadedSyndrome loaded = read_syndrome(buffer);
+    EXPECT_EQ(loaded.spec, spec);
+    ASSERT_EQ(loaded.graph.num_nodes(), inst.graph.num_nodes());
+    for (Node u = 0; u < inst.graph.num_nodes(); ++u) {
+      const unsigned d = inst.graph.degree(u);
+      for (unsigned i = 0; i + 1 < d; ++i) {
+        for (unsigned j = i + 1; j < d; ++j) {
+          ASSERT_EQ(loaded.syndrome.test(u, i, j), original.test(u, i, j))
+              << u << " " << i << " " << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(SyndromeIo, DiagnosisThroughTheFileBoundary) {
+  test::Instance inst("hypercube 7");
+  Rng rng(2);
+  const FaultSet faults(128, inject_uniform(128, 7, rng));
+  const Syndrome syndrome =
+      generate_syndrome(inst.graph, faults, FaultyBehavior::kAntiDiagnostic, 4);
+  std::stringstream buffer;
+  write_syndrome(buffer, "hypercube 7", inst.graph, syndrome);
+
+  LoadedSyndrome loaded = read_syndrome(buffer);
+  Diagnoser diagnoser(*loaded.topology, loaded.graph);
+  const TableOracle oracle(loaded.graph, loaded.syndrome);
+  const auto result = diagnoser.diagnose(oracle);
+  ASSERT_TRUE(result.success) << result.failure_reason;
+  EXPECT_EQ(result.faults, faults.nodes());
+}
+
+TEST(SyndromeIo, CommentsAndBlankLinesTolerated) {
+  test::Instance inst("hypercube 3");
+  const Syndrome s(inst.graph);
+  std::stringstream buffer;
+  write_syndrome(buffer, "hypercube 3", inst.graph, s);
+  std::string text = buffer.str();
+  text.insert(text.find("node 1"), "# a comment\n\n");
+  std::stringstream patched(text);
+  EXPECT_NO_THROW(read_syndrome(patched));
+}
+
+TEST(SyndromeIo, MalformedInputsRejectedWithLineNumbers) {
+  const auto expect_fail = [](const std::string& text,
+                              const std::string& fragment) {
+    std::stringstream in(text);
+    try {
+      (void)read_syndrome(in);
+      FAIL() << "expected failure for: " << fragment;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_fail("garbage\n", "expected header");
+  expect_fail("mmdiag-syndrome v1\nnope\n", "expected 'topology");
+  expect_fail("mmdiag-syndrome v1\ntopology bogus 3\n", "bad topology spec");
+  // Valid header, bad node records.
+  test::Instance inst("hypercube 2");
+  const Syndrome s(inst.graph);
+  std::stringstream good;
+  write_syndrome(good, "hypercube 2", inst.graph, s);
+  const std::string base = good.str();
+
+  std::string missing = base;
+  missing.erase(missing.find("node 3"), missing.find("end") - missing.find("node 3"));
+  expect_fail(missing, "missing");
+
+  std::string dup = base;
+  dup.replace(dup.find("node 1"), 6, "node 0");
+  expect_fail(dup, "duplicate");
+
+  std::string badbits = base;
+  badbits.replace(badbits.find("node 0 ") + 7, 1, "X");
+  expect_fail(badbits, "bits");
+
+  std::string no_end = base.substr(0, base.find("end"));
+  expect_fail(no_end, "end");
+}
+
+TEST(NodeListIo, RoundTrip) {
+  std::stringstream buffer;
+  write_node_list(buffer, {3, 17, 42});
+  EXPECT_EQ(read_node_list(buffer), (std::vector<Node>{3, 17, 42}));
+  std::stringstream empty("");
+  EXPECT_TRUE(read_node_list(empty).empty());
+}
+
+}  // namespace
+}  // namespace mmdiag

@@ -1,0 +1,76 @@
+// Randomised soak: many seeds, mixed fault counts and behaviours, three
+// algorithms cross-checked on the same syndromes. Catches rule- or
+// seed-dependent regressions the targeted suites might miss.
+#include <gtest/gtest.h>
+
+#include "baselines/exact_solver.hpp"
+#include "core/diagnoser.hpp"
+#include "distributed/protocol.hpp"
+#include "mm/injector.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace mmdiag {
+namespace {
+
+class Soak : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Soak, DriverExactAndDistributedAgreeOnQ7) {
+  const std::uint64_t seed = GetParam();
+  test::Instance inst("hypercube 7");
+  Diagnoser driver(*inst.topo, inst.graph);
+  Rng rng(seed);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto count = rng.below(8);  // 0..7
+    const auto behavior = kAllFaultyBehaviors[rng.below(4)];
+    const FaultSet faults(128, inject_uniform(128, count, rng));
+    const LazyOracle o1(inst.graph, faults, behavior, seed ^ trial);
+    const LazyOracle o2(inst.graph, faults, behavior, seed ^ trial);
+    const LazyOracle o3(inst.graph, faults, behavior, seed ^ trial);
+
+    const auto from_driver = driver.diagnose(o1);
+    ASSERT_TRUE(from_driver.success) << from_driver.failure_reason;
+    ASSERT_EQ(from_driver.faults, faults.nodes())
+        << "seed " << seed << " trial " << trial << " "
+        << to_string(behavior);
+
+    ExactSolver solver(inst.graph, o2, 7);
+    const auto from_solver = solver.diagnose();
+    ASSERT_TRUE(from_solver.success);
+    EXPECT_EQ(from_solver.faults, faults.nodes());
+
+    const auto from_net = run_distributed_diagnosis(*inst.topo, inst.graph, o3);
+    ASSERT_TRUE(from_net.success) << from_net.failure_reason;
+    EXPECT_EQ(from_net.faults, faults.nodes());
+  }
+}
+
+TEST_P(Soak, MixedFamiliesRandomisedRecovery) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed * 31 + 1);
+  for (const char* spec :
+       {"crossed_cube 7", "kary_ncube 2 7", "nk_star 6 3", "pancake 5"}) {
+    SCOPED_TRACE(spec);
+    test::Instance inst(spec);
+    Diagnoser driver(*inst.topo, inst.graph);
+    const unsigned delta = driver.delta();
+    for (int trial = 0; trial < 3; ++trial) {
+      const auto count = rng.below(delta + 1);
+      const auto behavior = kAllFaultyBehaviors[rng.below(4)];
+      const FaultSet faults(inst.graph.num_nodes(),
+                            inject_uniform(inst.graph.num_nodes(), count, rng));
+      const LazyOracle oracle(inst.graph, faults, behavior, seed + trial);
+      const auto result = driver.diagnose(oracle);
+      ASSERT_TRUE(result.success)
+          << result.failure_reason << " (seed " << seed << ")";
+      EXPECT_EQ(result.faults, faults.nodes());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Soak,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u,
+                                           55u, 89u));
+
+}  // namespace
+}  // namespace mmdiag

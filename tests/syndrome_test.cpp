@@ -1,0 +1,131 @@
+// MM-model substrate: syndrome generation semantics, oracle equivalence,
+// look-up counting, fault sets and faulty behaviours.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace mmdiag {
+namespace {
+
+std::vector<Node> three_distinct_nodes(Rng& rng) {
+  std::vector<Node> v;
+  while (v.size() < 3) {
+    const auto candidate = static_cast<Node>(rng.below(16));
+    if (std::find(v.begin(), v.end(), candidate) == v.end()) {
+      v.push_back(candidate);
+    }
+  }
+  return v;
+}
+
+TEST(FaultSet, MembershipAndNormalisation) {
+  const FaultSet f(10, {7, 3, 3, 5});
+  EXPECT_EQ(f.size(), 3u);
+  EXPECT_EQ(f.nodes(), (std::vector<Node>{3, 5, 7}));
+  EXPECT_TRUE(f.is_faulty(3));
+  EXPECT_FALSE(f.is_faulty(4));
+  EXPECT_THROW(FaultSet(4, {9}), std::invalid_argument);
+}
+
+TEST(Behavior, NamesAndDeterminism) {
+  for (const auto b : kAllFaultyBehaviors) {
+    EXPECT_FALSE(to_string(b).empty());
+  }
+  // Random behaviour is a pure function of (seed, u, {v,w}).
+  const bool r1 = faulty_test_result(FaultyBehavior::kRandom, 9, 1, 2, 3, false, false);
+  const bool r2 = faulty_test_result(FaultyBehavior::kRandom, 9, 1, 3, 2, false, false);
+  EXPECT_EQ(r1, r2);  // unordered pair
+  EXPECT_FALSE(faulty_test_result(FaultyBehavior::kAllZero, 0, 1, 2, 3, true, true));
+  EXPECT_TRUE(faulty_test_result(FaultyBehavior::kAllOne, 0, 1, 2, 3, false, false));
+  EXPECT_TRUE(faulty_test_result(FaultyBehavior::kAntiDiagnostic, 0, 1, 2, 3,
+                                 false, false));
+  EXPECT_FALSE(faulty_test_result(FaultyBehavior::kAntiDiagnostic, 0, 1, 2, 3,
+                                  true, false));
+}
+
+TEST(Syndrome, HealthyTestersFollowTheModel) {
+  test::Instance inst("hypercube 4");
+  const FaultSet faults(16, {5, 9});
+  const Syndrome s =
+      generate_syndrome(inst.graph, faults, FaultyBehavior::kRandom, 1);
+  for (Node u = 0; u < 16; ++u) {
+    if (faults.is_faulty(u)) continue;
+    const auto adj = inst.graph.neighbors(u);
+    for (unsigned i = 0; i + 1 < adj.size(); ++i) {
+      for (unsigned j = i + 1; j < adj.size(); ++j) {
+        const bool expected =
+            faults.is_faulty(adj[i]) || faults.is_faulty(adj[j]);
+        EXPECT_EQ(s.test(u, i, j), expected) << "u=" << u;
+      }
+    }
+  }
+}
+
+TEST(Syndrome, FaultFreeSyndromeIsAllZero) {
+  test::Instance inst("star 4");
+  const FaultSet none(24, {});
+  const Syndrome s =
+      generate_syndrome(inst.graph, none, FaultyBehavior::kAllOne, 3);
+  EXPECT_EQ(s.ones(), 0u);
+}
+
+TEST(Syndrome, TotalTestsFormula) {
+  test::Instance inst("hypercube 4");  // 16 nodes, degree 4
+  const Syndrome s(inst.graph);
+  EXPECT_EQ(s.total_tests(), 16u * (4 * 3 / 2));
+}
+
+TEST(Syndrome, PairIndexSymmetricAccess) {
+  test::Instance inst("hypercube 3");
+  Syndrome s(inst.graph);
+  s.set_test(0, 0, 2, true);
+  EXPECT_TRUE(s.test(0, 2, 0));
+  EXPECT_FALSE(s.test(0, 1, 2));
+}
+
+TEST(Oracles, TableAndLazyAgreeForEveryBehavior) {
+  test::Instance inst("crossed_cube 4");
+  Rng rng(11);
+  const FaultSet faults(16, three_distinct_nodes(rng));
+  for (const auto behavior : kAllFaultyBehaviors) {
+    SCOPED_TRACE(to_string(behavior));
+    const Syndrome s = generate_syndrome(inst.graph, faults, behavior, 77);
+    const TableOracle table(inst.graph, s);
+    const LazyOracle lazy(inst.graph, faults, behavior, 77);
+    for (Node u = 0; u < 16; ++u) {
+      const auto deg = inst.graph.degree(u);
+      for (unsigned i = 0; i + 1 < deg; ++i) {
+        for (unsigned j = i + 1; j < deg; ++j) {
+          EXPECT_EQ(table.test(u, i, j), lazy.test(u, i, j))
+              << u << " " << i << " " << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(Oracles, LookupCounting) {
+  test::Instance inst("hypercube 3");
+  const Syndrome s(inst.graph);
+  const TableOracle oracle(inst.graph, s);
+  EXPECT_EQ(oracle.lookups(), 0u);
+  (void)oracle.test(0, 0, 1);
+  (void)oracle.test(0, 0, 2);
+  EXPECT_EQ(oracle.lookups(), 2u);
+  oracle.reset_lookups();
+  EXPECT_EQ(oracle.lookups(), 0u);
+}
+
+TEST(Oracles, FaultFreeOracleAlwaysZero) {
+  test::Instance inst("hypercube 3");
+  const FaultFreeOracle oracle(inst.graph);
+  EXPECT_FALSE(oracle.test(0, 0, 1));
+  EXPECT_FALSE(oracle.test(5, 1, 2));
+  EXPECT_EQ(oracle.lookups(), 2u);
+}
+
+}  // namespace
+}  // namespace mmdiag

@@ -1,0 +1,32 @@
+// Shared helpers for mmdiag tests.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "mm/fault_set.hpp"
+#include "mm/oracle.hpp"
+#include "mm/syndrome.hpp"
+#include "topology/registry.hpp"
+#include "topology/topology.hpp"
+
+namespace mmdiag::test {
+
+/// A topology instance together with its materialised graph.
+struct Instance {
+  std::unique_ptr<Topology> topo;
+  Graph graph;
+
+  explicit Instance(const std::string& spec)
+      : topo(make_topology_from_spec(spec)), graph(topo->build_graph()) {}
+};
+
+/// Sorted copy helper for comparing fault lists.
+inline std::vector<Node> sorted(std::vector<Node> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+}  // namespace mmdiag::test

@@ -1,0 +1,176 @@
+// Structural invariants for every topology family, parameterized over
+// representative instances. Graph construction itself validates symmetry,
+// duplicate edges and self-loops (build_graph_from_generator), so a
+// successful build is already a meaningful check.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/traversal.hpp"
+#include "test_util.hpp"
+
+namespace mmdiag {
+namespace {
+
+struct Expected {
+  std::string spec;
+  std::uint64_t num_nodes;
+  unsigned degree;
+  unsigned diagnosability;  // published value (0 = not covered)
+};
+
+class TopologyInvariants : public ::testing::TestWithParam<Expected> {};
+
+TEST_P(TopologyInvariants, MatchesPublishedConstantsAndIsSimpleRegular) {
+  const auto& expected = GetParam();
+  test::Instance inst(expected.spec);
+  const auto info = inst.topo->info();
+
+  EXPECT_EQ(info.num_nodes, expected.num_nodes) << info.name;
+  EXPECT_EQ(info.degree, expected.degree) << info.name;
+  EXPECT_EQ(info.diagnosability, expected.diagnosability) << info.name;
+  EXPECT_EQ(inst.graph.num_nodes(), info.num_nodes);
+
+  // Regularity.
+  EXPECT_EQ(inst.graph.max_degree(), info.degree) << info.name;
+  EXPECT_EQ(inst.graph.min_degree(), info.degree) << info.name;
+
+  // Connected (all §5 families are).
+  EXPECT_TRUE(is_connected(inst.graph)) << info.name;
+
+  // Diagnosability never exceeds connectivity or degree, and the paper's
+  // driver never supports more faults than the diagnosability.
+  EXPECT_LE(info.diagnosability, info.degree);
+  EXPECT_LE(info.diagnosability, info.connectivity);
+  EXPECT_LE(inst.topo->default_fault_bound(), info.diagnosability);
+}
+
+TEST_P(TopologyInvariants, NodeLabelsAreUnique) {
+  test::Instance inst(GetParam().spec);
+  if (inst.graph.num_nodes() > 5000) GTEST_SKIP() << "label sweep too large";
+  std::set<std::string> labels;
+  for (Node v = 0; v < inst.graph.num_nodes(); ++v) {
+    labels.insert(inst.topo->node_label(v));
+  }
+  EXPECT_EQ(labels.size(), inst.graph.num_nodes());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, TopologyInvariants,
+    ::testing::Values(
+        // Hypercubes: N = 2^n, degree n, diag n for n >= 4.
+        Expected{"hypercube 3", 8, 3, 0},
+        Expected{"hypercube 4", 16, 4, 4},
+        Expected{"hypercube 7", 128, 7, 7},
+        Expected{"hypercube 10", 1024, 10, 10},
+        // Crossed cubes.
+        Expected{"crossed_cube 3", 8, 3, 0},
+        Expected{"crossed_cube 4", 16, 4, 4},
+        Expected{"crossed_cube 8", 256, 8, 8},
+        // Twisted cubes (odd n).
+        Expected{"twisted_cube 3", 8, 3, 0},
+        Expected{"twisted_cube 5", 32, 5, 5},
+        Expected{"twisted_cube 9", 512, 9, 9},
+        // Folded hypercubes: degree n+1.
+        Expected{"folded_hypercube 4", 16, 5, 5},
+        Expected{"folded_hypercube 8", 256, 9, 9},
+        // Enhanced hypercubes Q_{n,k}: degree n+1.
+        Expected{"enhanced_hypercube 5 3", 32, 6, 6},
+        Expected{"enhanced_hypercube 8 4", 256, 9, 9},
+        // Augmented cubes: degree 2n-1; AQ_4 fails the 2t+3 size bound
+        // (17 > 16) exactly as the paper's n >= 5 condition predicts;
+        // AQ_3 additionally has the known connectivity anomaly κ = 4.
+        Expected{"augmented_cube 3", 8, 5, 0},
+        Expected{"augmented_cube 4", 16, 7, 0},
+        Expected{"augmented_cube 5", 32, 9, 9},
+        Expected{"augmented_cube 7", 128, 13, 13},
+        // Shuffle cubes (n = 4k+2).
+        Expected{"shuffle_cube 6", 64, 6, 6},
+        Expected{"shuffle_cube 10", 1024, 10, 10},
+        // Twisted N-cubes.
+        Expected{"twisted_n_cube 4", 16, 4, 4},
+        Expected{"twisted_n_cube 8", 256, 8, 8},
+        // k-ary n-cubes: degree 2n; (3,3) is on the paper's exclusion list.
+        Expected{"kary_ncube 3 3", 27, 6, 0},
+        Expected{"kary_ncube 2 6", 36, 4, 4},
+        Expected{"kary_ncube 3 5", 125, 6, 6},
+        Expected{"kary_ncube 2 8", 64, 4, 4},
+        // Augmented k-ary n-cubes: degree 4n-2; (n,k) = (2,3) excluded.
+        Expected{"augmented_kary_ncube 2 3", 9, 6, 0},
+        Expected{"augmented_kary_ncube 2 5", 25, 6, 6},
+        Expected{"augmented_kary_ncube 3 4", 64, 10, 10},
+        // Stars: N = n!, degree n-1.
+        Expected{"star 4", 24, 3, 3},
+        Expected{"star 5", 120, 4, 4},
+        Expected{"star 7", 5040, 6, 6},
+        // (n,k)-stars: N = n!/(n-k)!, degree n-1; (n,k) = (3,2) excluded.
+        Expected{"nk_star 3 2", 6, 2, 0},
+        Expected{"nk_star 5 2", 20, 4, 4},
+        Expected{"nk_star 6 3", 120, 5, 5},
+        Expected{"nk_star 7 4", 840, 6, 6},
+        // Pancakes.
+        Expected{"pancake 4", 24, 3, 3},
+        Expected{"pancake 6", 720, 5, 5},
+        // Arrangement graphs: degree k(n-k).
+        Expected{"arrangement 5 2", 20, 6, 6},
+        Expected{"arrangement 6 3", 120, 9, 9},
+        Expected{"arrangement 7 2", 42, 10, 10}),
+    [](const ::testing::TestParamInfo<Expected>& info) {
+      std::string name = info.param.spec;
+      for (auto& c : name) {
+        if (c == ' ') c = '_';
+      }
+      return name;
+    });
+
+TEST(TopologyRegistry, ListsAllFamilies) {
+  const auto families = topology_families();
+  EXPECT_EQ(families.size(), 14u);
+  for (const auto& f : families) {
+    SCOPED_TRACE(f);
+    // Every listed family constructs with reasonable small parameters.
+    std::vector<unsigned> params;
+    if (f == "enhanced_hypercube") {
+      params = {5, 3};
+    } else if (f == "kary_ncube" || f == "augmented_kary_ncube") {
+      params = {2, 4};
+    } else if (f == "nk_star" || f == "arrangement") {
+      params = {5, 3};
+    } else if (f == "twisted_cube") {
+      params = {5};
+    } else if (f == "shuffle_cube") {
+      params = {6};
+    } else {
+      params = {5};
+    }
+    EXPECT_NO_THROW(make_topology(f, params));
+  }
+}
+
+TEST(TopologyRegistry, RejectsUnknownAndBadArity) {
+  EXPECT_THROW(make_topology("moebius", {4}), std::invalid_argument);
+  EXPECT_THROW(make_topology("hypercube", {4, 4}), std::invalid_argument);
+  EXPECT_THROW(make_topology_from_spec(""), std::invalid_argument);
+  EXPECT_NO_THROW(make_topology_from_spec("hypercube 5"));
+}
+
+TEST(TopologyValidity, ConstructorsRejectBadParameters) {
+  EXPECT_THROW(make_topology("twisted_cube", {4}), std::invalid_argument);  // even
+  EXPECT_THROW(make_topology("shuffle_cube", {8}), std::invalid_argument);  // not 4k+2
+  EXPECT_THROW(make_topology("kary_ncube", {3, 2}), std::invalid_argument);  // k < 3
+  EXPECT_THROW(make_topology("enhanced_hypercube", {5, 1}),
+               std::invalid_argument);  // k = 1 duplicates a cube edge
+  EXPECT_THROW(make_topology("nk_star", {5, 5}), std::invalid_argument);  // k = n
+  EXPECT_THROW(make_topology("arrangement", {5, 0}), std::invalid_argument);
+  EXPECT_THROW(make_topology("hypercube", {0}), std::invalid_argument);
+}
+
+TEST(NodeLabels, FormatExamples) {
+  EXPECT_EQ(make_topology_from_spec("hypercube 4")->node_label(0b1010), "1010");
+  EXPECT_EQ(make_topology_from_spec("star 4")->node_label(0), "1 2 3 4");
+  const auto kary = make_topology_from_spec("kary_ncube 2 5");
+  EXPECT_EQ(kary->node_label(7), "(1,2)");  // 7 = 1*5 + 2
+}
+
+}  // namespace
+}  // namespace mmdiag

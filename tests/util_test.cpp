@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "util/bitvec.hpp"
+#include "util/mixed_radix.hpp"
+#include "util/perm.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace mmdiag {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowIsInRangeAndCoversValues) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.below(10);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Mix64, OrderSensitive) {
+  EXPECT_NE(mix64(1, 2), mix64(2, 1));
+  EXPECT_NE(mix64(1, 2, 3), mix64(3, 2, 1));
+}
+
+TEST(BitVec, SetGetReset) {
+  BitVec b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_FALSE(b.get(0));
+  b.set(0);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b.get(0));
+  EXPECT_TRUE(b.get(64));
+  EXPECT_TRUE(b.get(129));
+  EXPECT_FALSE(b.get(63));
+  b.reset(64);
+  EXPECT_FALSE(b.get(64));
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(BitVec, CountMasksTailBits) {
+  BitVec b(65, true);
+  EXPECT_EQ(b.count(), 65u);
+}
+
+TEST(BitVec, AssignAndClearAll) {
+  BitVec b(10);
+  b.assign(3, true);
+  b.assign(3, false);
+  b.assign(7, true);
+  EXPECT_EQ(b.count(), 1u);
+  b.clear_all();
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(StampSet, InsertContainsClear) {
+  StampSet s(8);
+  EXPECT_TRUE(s.insert(3));
+  EXPECT_FALSE(s.insert(3));
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_FALSE(s.contains(4));
+  s.clear();
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_TRUE(s.insert(3));
+}
+
+TEST(StampSet, ManyEpochs) {
+  StampSet s(4);
+  for (int epoch = 0; epoch < 1000; ++epoch) {
+    EXPECT_TRUE(s.insert(1));
+    EXPECT_TRUE(s.contains(1));
+    s.clear();
+  }
+  EXPECT_FALSE(s.contains(1));
+}
+
+TEST(Factorial, KnownValues) {
+  EXPECT_EQ(factorial(0), 1u);
+  EXPECT_EQ(factorial(1), 1u);
+  EXPECT_EQ(factorial(5), 120u);
+  EXPECT_EQ(factorial(12), 479001600u);
+}
+
+TEST(FallingFactorial, KnownValues) {
+  EXPECT_EQ(falling_factorial(7, 3), 7u * 6 * 5);
+  EXPECT_EQ(falling_factorial(5, 0), 1u);
+  EXPECT_EQ(falling_factorial(5, 5), 120u);
+  EXPECT_THROW(falling_factorial(3, 4), std::invalid_argument);
+  EXPECT_THROW(falling_factorial(30, 30), std::overflow_error);
+}
+
+TEST(PermCodec, RoundTripFullPermutations) {
+  PermCodec codec(5, 5);
+  EXPECT_EQ(codec.count(), 120u);
+  std::set<std::vector<std::uint8_t>> seen;
+  std::uint8_t a[8];
+  for (std::uint64_t r = 0; r < codec.count(); ++r) {
+    codec.unrank(r, a);
+    seen.insert(std::vector<std::uint8_t>(a, a + 5));
+    EXPECT_EQ(codec.rank(a), r);
+  }
+  EXPECT_EQ(seen.size(), 120u);  // bijective
+}
+
+TEST(PermCodec, RoundTripArrangements) {
+  PermCodec codec(7, 3);
+  EXPECT_EQ(codec.count(), 7u * 6 * 5);
+  std::uint8_t a[8];
+  for (std::uint64_t r = 0; r < codec.count(); ++r) {
+    codec.unrank(r, a);
+    // symbols distinct, in range
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_GE(a[i], 1);
+      EXPECT_LE(a[i], 7);
+      for (int j = i + 1; j < 3; ++j) EXPECT_NE(a[i], a[j]);
+    }
+    EXPECT_EQ(codec.rank(a), r);
+  }
+}
+
+TEST(PermCodec, RankZeroIsIdentityPrefix) {
+  PermCodec codec(6, 4);
+  std::uint8_t a[8];
+  codec.unrank(0, a);
+  EXPECT_EQ(a[0], 1);
+  EXPECT_EQ(a[1], 2);
+  EXPECT_EQ(a[2], 3);
+  EXPECT_EQ(a[3], 4);
+}
+
+TEST(PermCodec, RejectsBadParams) {
+  EXPECT_THROW(PermCodec(3, 0), std::invalid_argument);
+  EXPECT_THROW(PermCodec(3, 4), std::invalid_argument);
+}
+
+TEST(TupleCodec, RoundTrip) {
+  TupleCodec codec(3, 4);
+  EXPECT_EQ(codec.count, 64u);
+  std::uint8_t d[8];
+  for (std::uint64_t id = 0; id < codec.count; ++id) {
+    codec.unrank(id, d);
+    for (int i = 0; i < 3; ++i) EXPECT_LT(d[i], 4);
+    EXPECT_EQ(codec.rank(d), id);
+  }
+}
+
+TEST(TupleCodec, WithDigit) {
+  TupleCodec codec(3, 5);
+  const std::uint64_t id = codec.rank(std::array<std::uint8_t, 3>{2, 3, 4}.data());
+  std::uint8_t d[3];
+  codec.unrank(codec.with_digit(id, 1, 0), d);
+  EXPECT_EQ(d[0], 2);
+  EXPECT_EQ(d[1], 0);
+  EXPECT_EQ(d[2], 4);
+}
+
+TEST(Table, AlignedAndCsvOutput) {
+  Table t({"n", "time"});
+  t.add_row({"7", "1.5"});
+  t.add_row({"12", "2.25"});
+  std::ostringstream text, csv;
+  t.print(text);
+  t.print_csv(csv);
+  EXPECT_NE(text.str().find("| 12 |"), std::string::npos);
+  EXPECT_EQ(csv.str(), "n,time\n7,1.5\n12,2.25\n");
+}
+
+TEST(Table, RejectsRaggedRows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(Table, NumFormat) {
+  EXPECT_EQ(Table::num(std::uint64_t{12345}), "12345");
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+}
+
+}  // namespace
+}  // namespace mmdiag

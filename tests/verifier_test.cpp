@@ -1,0 +1,78 @@
+// Post-hoc syndrome-consistency verification.
+#include <gtest/gtest.h>
+
+#include "core/verifier.hpp"
+#include "mm/injector.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace mmdiag {
+namespace {
+
+TEST(Verifier, TrueFaultSetIsConsistent) {
+  test::Instance inst("hypercube 6");
+  Rng rng(1);
+  for (const auto behavior : kAllFaultyBehaviors) {
+    const FaultSet faults(64, inject_uniform(64, 5, rng));
+    const LazyOracle oracle(inst.graph, faults, behavior, 3);
+    EXPECT_TRUE(syndrome_consistent(inst.graph, oracle, faults))
+        << to_string(behavior);
+  }
+}
+
+TEST(Verifier, WrongFaultSetsAreInconsistent) {
+  test::Instance inst("hypercube 6");
+  Rng rng(2);
+  const FaultSet faults(64, inject_uniform(64, 5, rng));
+  const LazyOracle oracle(inst.graph, faults, FaultyBehavior::kRandom, 9);
+  // Missing one fault.
+  auto missing = faults.nodes();
+  missing.pop_back();
+  EXPECT_FALSE(syndrome_consistent(inst.graph, oracle, FaultSet(64, missing)));
+  // One extra healthy node blamed: a healthy tester adjacent to it reports 0
+  // where the claim predicts 1.
+  auto extra = faults.nodes();
+  Node innocent = 0;
+  while (faults.is_faulty(innocent)) ++innocent;
+  extra.push_back(innocent);
+  EXPECT_FALSE(syndrome_consistent(inst.graph, oracle, FaultSet(64, extra)));
+  // The empty claim is inconsistent whenever faults exist.
+  EXPECT_FALSE(syndrome_consistent(inst.graph, oracle, FaultSet(64, {})));
+}
+
+TEST(Verifier, EmptyClaimConsistentOnFaultFreeSyndrome) {
+  test::Instance inst("star 4");
+  const FaultSet none(24, {});
+  const LazyOracle oracle(inst.graph, none, FaultyBehavior::kRandom, 0);
+  EXPECT_TRUE(syndrome_consistent(inst.graph, oracle, none));
+}
+
+TEST(Verifier, DiagnoseAndVerifyUpgradesHonestRuns) {
+  test::Instance inst("hypercube 7");
+  Diagnoser diagnoser(*inst.topo, inst.graph);
+  Rng rng(3);
+  const FaultSet faults(128, inject_uniform(128, 7, rng));
+  const LazyOracle oracle(inst.graph, faults, FaultyBehavior::kAllOne, 4);
+  const auto result = diagnose_and_verify(diagnoser, oracle);
+  ASSERT_TRUE(result.success) << result.failure_reason;
+  EXPECT_EQ(result.faults, faults.nodes());
+}
+
+TEST(Verifier, SurvivesAdversarialBehaviorSweep) {
+  // Verification must agree with plain diagnosis on every behaviour/count.
+  test::Instance inst("crossed_cube 7");
+  Diagnoser diagnoser(*inst.topo, inst.graph);
+  Rng rng(5);
+  for (unsigned count = 0; count <= 7; count += 3) {
+    for (const auto behavior : kAllFaultyBehaviors) {
+      const FaultSet faults(128, inject_uniform(128, count, rng));
+      const LazyOracle oracle(inst.graph, faults, behavior, count);
+      const auto result = diagnose_and_verify(diagnoser, oracle);
+      ASSERT_TRUE(result.success) << to_string(behavior);
+      EXPECT_EQ(result.faults, faults.nodes());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mmdiag
