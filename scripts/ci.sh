@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 verify, exactly as ROADMAP.md specifies:
+#   cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
+#
+# Run from the repository root. Pass extra cmake arguments through, e.g.
+#   scripts/ci.sh -DMMDIAG_FORCE_BUNDLED_GTEST=ON
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . "$@"
+cmake --build build -j
+cd build
+ctest --output-on-failure -j

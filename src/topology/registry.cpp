@@ -112,6 +112,14 @@ std::unique_ptr<Topology> make_topology_from_spec(const std::string& spec) {
   std::vector<unsigned> params;
   unsigned value = 0;
   while (in >> value) params.push_back(value);
+  if (!in.eof()) {
+    std::string rest;
+    in.clear();
+    in >> rest;
+    throw std::invalid_argument("bad topology spec '" + spec +
+                                "': trailing non-numeric token '" + rest +
+                                "'");
+  }
   return make_topology(family, params);
 }
 

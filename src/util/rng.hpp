@@ -61,14 +61,15 @@ class Rng {
   /// Uniform integer in [0, bound). bound must be nonzero.
   [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept {
     // Lemire's nearly-divisionless rejection method.
+    __extension__ using u128 = unsigned __int128;
     std::uint64_t x = (*this)();
-    unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+    u128 m = static_cast<u128>(x) * bound;
     auto lo = static_cast<std::uint64_t>(m);
     if (lo < bound) {
       const std::uint64_t threshold = (0 - bound) % bound;
       while (lo < threshold) {
         x = (*this)();
-        m = static_cast<unsigned __int128>(x) * bound;
+        m = static_cast<u128>(x) * bound;
         lo = static_cast<std::uint64_t>(m);
       }
     }

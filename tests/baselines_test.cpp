@@ -179,7 +179,7 @@ TEST(Yang, ExactOnHypercubesAcrossBehaviors) {
 TEST(Yang, RequiresLargeEnoughDimension) {
   test::Instance inst("hypercube 6");
   const Hypercube topo(6);
-  EXPECT_THROW(YangCycleDiagnoser(topo, inst.graph), std::invalid_argument);
+  EXPECT_THROW((void)YangCycleDiagnoser(topo, inst.graph), std::invalid_argument);
 }
 
 // ---- Three-way agreement -------------------------------------------------

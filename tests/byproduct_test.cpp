@@ -144,7 +144,7 @@ TEST(Oracles, RandomFaultyTesterAnswersAreStableAcrossRepeats) {
 
 TEST(PermCodecFuzz, LargeArrangementsRoundTrip) {
   Rng rng(77);
-  for (const auto [n, k] :
+  for (const auto& [n, k] :
        {std::pair<unsigned, unsigned>{12, 5}, {16, 4}, {10, 7}, {20, 3}}) {
     const PermCodec codec(n, k);
     std::uint8_t a[64];

@@ -27,7 +27,7 @@ TEST(CertifiedPartition, HypercubeQ7Certifies) {
 // un-certifiable under the paper's rule but fine under the spread rule.
 TEST(CertifiedPartition, SpreadRuleRescuesQ8) {
   test::Instance inst("hypercube 8");
-  EXPECT_THROW(find_certified_partition(*inst.topo, inst.graph, 8,
+  EXPECT_THROW((void)find_certified_partition(*inst.topo, inst.graph, 8,
                                         ParentRule::kLeastFirst, true),
                DiagnosisUnsupportedError);
   const auto cp = find_certified_partition(*inst.topo, inst.graph, 8,
@@ -50,7 +50,7 @@ TEST(CertifiedPartition, CliqueComponentsNeverCertify) {
   // has exactly one internal node, so certification is impossible
   // (DESIGN.md §4.3, correcting the paper's Theorem 5 for k = 2).
   test::Instance inst("nk_star 6 2");
-  EXPECT_THROW(find_certified_partition(*inst.topo, inst.graph,
+  EXPECT_THROW((void)find_certified_partition(*inst.topo, inst.graph,
                                         inst.topo->default_fault_bound(),
                                         ParentRule::kSpread, true),
                DiagnosisUnsupportedError);
@@ -58,7 +58,7 @@ TEST(CertifiedPartition, CliqueComponentsNeverCertify) {
 
 TEST(CertifiedPartition, ArrangementK2Unsupported) {
   test::Instance inst("arrangement 6 2");
-  EXPECT_THROW(find_certified_partition(*inst.topo, inst.graph,
+  EXPECT_THROW((void)find_certified_partition(*inst.topo, inst.graph,
                                         inst.topo->default_fault_bound(),
                                         ParentRule::kSpread, true),
                DiagnosisUnsupportedError);
@@ -95,10 +95,10 @@ TEST(ComponentCertifies, MatchesFullSearchDecision) {
                                      ParentRule::kSpread);
   }
   if (all) {
-    EXPECT_NO_THROW(find_certified_partition(*inst.topo, inst.graph, delta,
+    EXPECT_NO_THROW((void)find_certified_partition(*inst.topo, inst.graph, delta,
                                              ParentRule::kSpread, true));
   } else {
-    EXPECT_THROW(find_certified_partition(*inst.topo, inst.graph, delta,
+    EXPECT_THROW((void)find_certified_partition(*inst.topo, inst.graph, delta,
                                           ParentRule::kSpread, true),
                  DiagnosisUnsupportedError);
   }

@@ -24,7 +24,7 @@ TEST(ExtendedStarHypercube, ValidAtEveryRoot) {
 
 TEST(ExtendedStarHypercube, RejectsSmallDimensions) {
   const Hypercube q4(4);
-  EXPECT_THROW(extended_star_hypercube(q4, 0), std::invalid_argument);
+  EXPECT_THROW((void)extended_star_hypercube(q4, 0), std::invalid_argument);
 }
 
 TEST(ExtendedStarStarGraph, ValidAtEveryRoot) {

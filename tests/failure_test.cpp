@@ -60,11 +60,11 @@ TEST(FailureInjection, AllFaultyComponentsExhaustProbes) {
 TEST(FailureInjection, UnsupportedFamiliesThrowAtConstruction) {
   {
     test::Instance inst("nk_star 6 2");  // clique components (DESIGN §4.3)
-    EXPECT_THROW(Diagnoser(*inst.topo, inst.graph), DiagnosisUnsupportedError);
+    EXPECT_THROW((void)Diagnoser(*inst.topo, inst.graph), DiagnosisUnsupportedError);
   }
   {
     test::Instance inst("hypercube 5");  // too few certifiable components
-    EXPECT_THROW(Diagnoser(*inst.topo, inst.graph), DiagnosisUnsupportedError);
+    EXPECT_THROW((void)Diagnoser(*inst.topo, inst.graph), DiagnosisUnsupportedError);
   }
 }
 
@@ -73,7 +73,7 @@ TEST(FailureInjection, DeltaZeroDefaultRejected) {
   // unknown, so the default-delta constructor must refuse.
   test::Instance inst("kary_ncube 3 3");
   EXPECT_EQ(inst.topo->default_fault_bound(), 0u);
-  EXPECT_THROW(Diagnoser(*inst.topo, inst.graph), DiagnosisUnsupportedError);
+  EXPECT_THROW((void)Diagnoser(*inst.topo, inst.graph), DiagnosisUnsupportedError);
 }
 
 TEST(FailureInjection, CorruptSyndromeCaughtByVerification) {
@@ -106,7 +106,7 @@ TEST(FailureInjection, BadSeedsAndRanges) {
   test::Instance inst("hypercube 7");
   const FaultFreeOracle oracle(inst.graph);
   SetBuilder builder(inst.graph);
-  EXPECT_THROW(builder.run(oracle, 4096, 7), std::invalid_argument);
+  EXPECT_THROW((void)builder.run(oracle, 4096, 7), std::invalid_argument);
 }
 
 }  // namespace

@@ -39,9 +39,9 @@ TEST(GraphBuilder, BasicCsr) {
 }
 
 TEST(GraphBuilder, RejectsSelfLoopsAndDuplicates) {
-  EXPECT_THROW(build_graph_from_edges(3, {{0, 0}}), std::invalid_argument);
-  EXPECT_THROW(build_graph_from_edges(3, {{0, 1}, {1, 0}}), std::invalid_argument);
-  EXPECT_THROW(build_graph_from_edges(2, {{0, 5}}), std::invalid_argument);
+  EXPECT_THROW((void)build_graph_from_edges(3, {{0, 0}}), std::invalid_argument);
+  EXPECT_THROW((void)build_graph_from_edges(3, {{0, 1}, {1, 0}}), std::invalid_argument);
+  EXPECT_THROW((void)build_graph_from_edges(2, {{0, 5}}), std::invalid_argument);
 }
 
 TEST(GraphBuilder, GeneratorValidatesSymmetry) {
@@ -49,7 +49,7 @@ TEST(GraphBuilder, GeneratorValidatesSymmetry) {
   auto bad = [](Node u, std::vector<Node>& out) {
     if (u == 0) out.push_back(1);
   };
-  EXPECT_THROW(build_graph_from_generator(2, bad), std::logic_error);
+  EXPECT_THROW((void)build_graph_from_generator(2, bad), std::logic_error);
 }
 
 TEST(GraphBuilder, GeneratorBuildsCycle) {
@@ -91,7 +91,7 @@ TEST(Traversal, DiameterAndEccentricity) {
   EXPECT_EQ(diameter(path_graph(5)), 4u);
   EXPECT_EQ(diameter(cycle_graph(6)), 3u);
   EXPECT_EQ(eccentricity(path_graph(5), 2), 2u);
-  EXPECT_THROW(eccentricity(build_graph_from_edges(3, {{0, 1}}), 0),
+  EXPECT_THROW((void)eccentricity(build_graph_from_edges(3, {{0, 1}}), 0),
                std::logic_error);
 }
 

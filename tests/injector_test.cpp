@@ -37,7 +37,7 @@ TEST(InjectUniform, EdgeCases) {
   EXPECT_TRUE(inject_uniform(5, 0, rng).empty());
   const auto all = inject_uniform(5, 5, rng);
   EXPECT_EQ(std::set<Node>(all.begin(), all.end()).size(), 5u);
-  EXPECT_THROW(inject_uniform(3, 4, rng), std::invalid_argument);
+  EXPECT_THROW((void)inject_uniform(3, 4, rng), std::invalid_argument);
 }
 
 TEST(InjectSurround, ExactNeighbourSet) {
@@ -51,7 +51,7 @@ TEST(InjectClustered, BfsBall) {
   const auto f = inject_clustered(inst.graph, 0, 5);
   // Centre plus its four neighbours.
   EXPECT_EQ(test::sorted(f), (std::vector<Node>{0, 1, 2, 4, 8}));
-  EXPECT_THROW(inject_clustered(inst.graph, 0, 17), std::invalid_argument);
+  EXPECT_THROW((void)inject_clustered(inst.graph, 0, 17), std::invalid_argument);
 }
 
 TEST(InjectWhere, RespectsPredicate) {
@@ -60,7 +60,7 @@ TEST(InjectWhere, RespectsPredicate) {
       inject_where(50, 5, [](Node v) { return v % 2 == 0; }, rng);
   EXPECT_EQ(f.size(), 5u);
   for (const Node v : f) EXPECT_EQ(v % 2, 0u);
-  EXPECT_THROW(inject_where(10, 6, [](Node v) { return v < 3; }, rng),
+  EXPECT_THROW((void)inject_where(10, 6, [](Node v) { return v < 3; }, rng),
                std::invalid_argument);
 }
 

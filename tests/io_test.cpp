@@ -64,7 +64,7 @@ TEST(SyndromeIo, CommentsAndBlankLinesTolerated) {
   std::string text = buffer.str();
   text.insert(text.find("node 1"), "# a comment\n\n");
   std::stringstream patched(text);
-  EXPECT_NO_THROW(read_syndrome(patched));
+  EXPECT_NO_THROW((void)read_syndrome(patched));
 }
 
 TEST(SyndromeIo, MalformedInputsRejectedWithLineNumbers) {

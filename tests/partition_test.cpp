@@ -76,8 +76,8 @@ TEST(PrefixBitsPlan, ComponentArithmetic) {
   EXPECT_EQ(plan.component_size(), 16u);
   EXPECT_EQ(plan.component_of(0x3F), 3u);
   EXPECT_EQ(plan.seed_of(2), 0x20u);
-  EXPECT_THROW(PrefixBitsPlan(4, 0), std::invalid_argument);
-  EXPECT_THROW(PrefixBitsPlan(4, 5), std::invalid_argument);
+  EXPECT_THROW((void)PrefixBitsPlan(4, 0), std::invalid_argument);
+  EXPECT_THROW((void)PrefixBitsPlan(4, 5), std::invalid_argument);
 }
 
 TEST(TuplePrefixPlan, ComponentArithmetic) {

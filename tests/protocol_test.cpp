@@ -64,7 +64,7 @@ TEST(SyncNetwork, SendToNonNeighbourThrows) {
   } program;
   SyncNetwork net(g, oracle, program);
   net.wake(0);
-  EXPECT_THROW(net.run_to_quiescence(), std::logic_error);
+  EXPECT_THROW((void)net.run_to_quiescence(), std::logic_error);
 }
 
 TEST(SyncNetwork, RoundLimitGuard) {
@@ -77,7 +77,7 @@ TEST(SyncNetwork, RoundLimitGuard) {
   } program;
   SyncNetwork net(g, oracle, program);
   net.wake(0);
-  EXPECT_THROW(net.run_to_quiescence(50), std::runtime_error);
+  EXPECT_THROW((void)net.run_to_quiescence(50), std::runtime_error);
 }
 
 // ---- Full protocol --------------------------------------------------------

@@ -1,0 +1,107 @@
+// topology/registry spec parsing: every registered family constructs at a
+// small size through the spec path, and malformed specs are rejected with
+// messages that tell the user what went wrong.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "test_util.hpp"
+#include "topology/registry.hpp"
+
+namespace mmdiag {
+namespace {
+
+// A known-good small spec for every family the registry exports. The test
+// below fails if a family is added to the registry without updating this
+// table, which is exactly the reminder we want.
+const std::map<std::string, std::string>& small_specs() {
+  static const std::map<std::string, std::string> specs = {
+      {"hypercube", "hypercube 3"},
+      {"crossed_cube", "crossed_cube 3"},
+      {"twisted_cube", "twisted_cube 3"},
+      {"folded_hypercube", "folded_hypercube 3"},
+      {"enhanced_hypercube", "enhanced_hypercube 3 2"},
+      {"augmented_cube", "augmented_cube 3"},
+      {"shuffle_cube", "shuffle_cube 6"},
+      {"twisted_n_cube", "twisted_n_cube 3"},
+      {"kary_ncube", "kary_ncube 2 3"},
+      {"augmented_kary_ncube", "augmented_kary_ncube 2 3"},
+      {"star", "star 4"},
+      {"nk_star", "nk_star 4 2"},
+      {"pancake", "pancake 4"},
+      {"arrangement", "arrangement 4 2"},
+  };
+  return specs;
+}
+
+TEST(RegistrySpec, EveryFamilyConstructsAtASmallSize) {
+  for (const std::string& family : topology_families()) {
+    SCOPED_TRACE(family);
+    const auto it = small_specs().find(family);
+    ASSERT_NE(it, small_specs().end())
+        << "family '" << family << "' has no small spec in this test";
+    const auto topo = make_topology_from_spec(it->second);
+    ASSERT_NE(topo, nullptr);
+    const TopologyInfo info = topo->info();
+    EXPECT_EQ(info.family, family);
+    EXPECT_GT(info.num_nodes, 0u);
+    // The instance must materialise: build_graph validates symmetry.
+    const Graph g = topo->build_graph();
+    EXPECT_EQ(g.num_nodes(), info.num_nodes);
+  }
+}
+
+TEST(RegistrySpec, NoRegisteredFamilyIsMissingFromTheRegistryList) {
+  const auto families = topology_families();
+  for (const auto& [family, spec] : small_specs()) {
+    EXPECT_NE(std::find(families.begin(), families.end(), family),
+              families.end())
+        << "spec table covers unregistered family '" << family << "'";
+  }
+}
+
+void expect_invalid(const std::string& spec, const std::string& fragment) {
+  SCOPED_TRACE(spec);
+  try {
+    (void)make_topology_from_spec(spec);
+    FAIL() << "expected std::invalid_argument for spec '" << spec << "'";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+        << "message was: " << e.what();
+  }
+}
+
+TEST(RegistrySpec, UnknownFamilyThrowsNamingTheFamily) {
+  expect_invalid("moebius 4", "moebius");
+  expect_invalid("moebius 4", "unknown topology family");
+}
+
+TEST(RegistrySpec, EmptySpecThrows) {
+  expect_invalid("", "empty topology spec");
+  expect_invalid("   ", "empty topology spec");
+}
+
+TEST(RegistrySpec, WrongParameterCountThrowsWithCounts) {
+  expect_invalid("hypercube", "expects 1 parameter(s), got 0");
+  expect_invalid("hypercube 3 4", "expects 1 parameter(s), got 2");
+  expect_invalid("kary_ncube 3", "expects 2 parameter(s), got 1");
+  expect_invalid("arrangement 5", "expects 2 parameter(s), got 1");
+}
+
+TEST(RegistrySpec, NonNumericOrTrailingGarbageThrows) {
+  expect_invalid("hypercube three", "hypercube");
+  expect_invalid("hypercube 3 extra_stuff", "trailing");
+  expect_invalid("kary_ncube 2 3 junk", "trailing");
+}
+
+TEST(RegistrySpec, MakeTopologyMatchesSpecPath) {
+  const auto direct = make_topology("kary_ncube", {2, 3});
+  const auto via_spec = make_topology_from_spec("kary_ncube 2 3");
+  EXPECT_EQ(direct->info().name, via_spec->info().name);
+  EXPECT_EQ(direct->info().num_nodes, via_spec->info().num_nodes);
+}
+
+}  // namespace
+}  // namespace mmdiag

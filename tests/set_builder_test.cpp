@@ -113,9 +113,9 @@ TEST(SetBuilder, SeedOutsideComponentThrows) {
   const FaultFreeOracle oracle(inst.graph);
   const PrefixBitsPlan plan(5, 3);
   SetBuilder builder(inst.graph);
-  EXPECT_THROW(builder.run_restricted(oracle, 0, 5, plan, 1),
+  EXPECT_THROW((void)builder.run_restricted(oracle, 0, 5, plan, 1),
                std::invalid_argument);
-  EXPECT_THROW(builder.run(oracle, 9999, 5), std::invalid_argument);
+  EXPECT_THROW((void)builder.run(oracle, 9999, 5), std::invalid_argument);
 }
 
 // Core soundness induction of §4.1: if u0 is healthy then every member is.

@@ -27,7 +27,7 @@ TEST(FaultSet, MembershipAndNormalisation) {
   EXPECT_EQ(f.nodes(), (std::vector<Node>{3, 5, 7}));
   EXPECT_TRUE(f.is_faulty(3));
   EXPECT_FALSE(f.is_faulty(4));
-  EXPECT_THROW(FaultSet(4, {9}), std::invalid_argument);
+  EXPECT_THROW((void)FaultSet(4, {9}), std::invalid_argument);
 }
 
 TEST(Behavior, NamesAndDeterminism) {

@@ -1,6 +1,7 @@
 // Shared helpers for mmdiag tests.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>

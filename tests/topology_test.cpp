@@ -143,26 +143,26 @@ TEST(TopologyRegistry, ListsAllFamilies) {
     } else {
       params = {5};
     }
-    EXPECT_NO_THROW(make_topology(f, params));
+    EXPECT_NO_THROW((void)make_topology(f, params));
   }
 }
 
 TEST(TopologyRegistry, RejectsUnknownAndBadArity) {
-  EXPECT_THROW(make_topology("moebius", {4}), std::invalid_argument);
-  EXPECT_THROW(make_topology("hypercube", {4, 4}), std::invalid_argument);
-  EXPECT_THROW(make_topology_from_spec(""), std::invalid_argument);
-  EXPECT_NO_THROW(make_topology_from_spec("hypercube 5"));
+  EXPECT_THROW((void)make_topology("moebius", {4}), std::invalid_argument);
+  EXPECT_THROW((void)make_topology("hypercube", {4, 4}), std::invalid_argument);
+  EXPECT_THROW((void)make_topology_from_spec(""), std::invalid_argument);
+  EXPECT_NO_THROW((void)make_topology_from_spec("hypercube 5"));
 }
 
 TEST(TopologyValidity, ConstructorsRejectBadParameters) {
-  EXPECT_THROW(make_topology("twisted_cube", {4}), std::invalid_argument);  // even
-  EXPECT_THROW(make_topology("shuffle_cube", {8}), std::invalid_argument);  // not 4k+2
-  EXPECT_THROW(make_topology("kary_ncube", {3, 2}), std::invalid_argument);  // k < 3
-  EXPECT_THROW(make_topology("enhanced_hypercube", {5, 1}),
+  EXPECT_THROW((void)make_topology("twisted_cube", {4}), std::invalid_argument);  // even
+  EXPECT_THROW((void)make_topology("shuffle_cube", {8}), std::invalid_argument);  // not 4k+2
+  EXPECT_THROW((void)make_topology("kary_ncube", {3, 2}), std::invalid_argument);  // k < 3
+  EXPECT_THROW((void)make_topology("enhanced_hypercube", {5, 1}),
                std::invalid_argument);  // k = 1 duplicates a cube edge
-  EXPECT_THROW(make_topology("nk_star", {5, 5}), std::invalid_argument);  // k = n
-  EXPECT_THROW(make_topology("arrangement", {5, 0}), std::invalid_argument);
-  EXPECT_THROW(make_topology("hypercube", {0}), std::invalid_argument);
+  EXPECT_THROW((void)make_topology("nk_star", {5, 5}), std::invalid_argument);  // k = n
+  EXPECT_THROW((void)make_topology("arrangement", {5, 0}), std::invalid_argument);
+  EXPECT_THROW((void)make_topology("hypercube", {0}), std::invalid_argument);
 }
 
 TEST(NodeLabels, FormatExamples) {

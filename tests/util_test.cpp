@@ -115,8 +115,8 @@ TEST(FallingFactorial, KnownValues) {
   EXPECT_EQ(falling_factorial(7, 3), 7u * 6 * 5);
   EXPECT_EQ(falling_factorial(5, 0), 1u);
   EXPECT_EQ(falling_factorial(5, 5), 120u);
-  EXPECT_THROW(falling_factorial(3, 4), std::invalid_argument);
-  EXPECT_THROW(falling_factorial(30, 30), std::overflow_error);
+  EXPECT_THROW((void)falling_factorial(3, 4), std::invalid_argument);
+  EXPECT_THROW((void)falling_factorial(30, 30), std::overflow_error);
 }
 
 TEST(PermCodec, RoundTripFullPermutations) {
@@ -159,8 +159,8 @@ TEST(PermCodec, RankZeroIsIdentityPrefix) {
 }
 
 TEST(PermCodec, RejectsBadParams) {
-  EXPECT_THROW(PermCodec(3, 0), std::invalid_argument);
-  EXPECT_THROW(PermCodec(3, 4), std::invalid_argument);
+  EXPECT_THROW((void)PermCodec(3, 0), std::invalid_argument);
+  EXPECT_THROW((void)PermCodec(3, 4), std::invalid_argument);
 }
 
 TEST(TupleCodec, RoundTrip) {
@@ -197,7 +197,7 @@ TEST(Table, AlignedAndCsvOutput) {
 
 TEST(Table, RejectsRaggedRows) {
   Table t({"a", "b"});
-  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+  EXPECT_THROW((void)t.add_row({"only one"}), std::invalid_argument);
 }
 
 TEST(Table, NumFormat) {

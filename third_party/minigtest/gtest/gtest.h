@@ -1,0 +1,593 @@
+// minigtest — a single-header, dependency-free GoogleTest substitute.
+//
+// This is the offline fallback tier of cmake/GetGTest.cmake: when neither a
+// system GoogleTest nor a network fetch is available, the suites link
+// against this header plus gtest_main.cpp instead. It implements exactly
+// the API surface the mmdiag suites use:
+//
+//   TEST, TEST_F (fixtures with SetUp/TearDown),
+//   TEST_P / TestWithParam<T> / INSTANTIATE_TEST_SUITE_P (with optional
+//     name-generator taking TestParamInfo<T>), ::testing::Values,
+//   EXPECT_/ASSERT_ {EQ,NE,LT,LE,GT,GE,TRUE,FALSE}, EXPECT_NEAR,
+//   EXPECT_THROW, EXPECT_NO_THROW, FAIL, ADD_FAILURE, SUCCEED,
+//   GTEST_SKIP, SCOPED_TRACE, RUN_ALL_TESTS, InitGoogleTest.
+//
+// Output mimics gtest's [ RUN ]/[ OK ]/[ FAILED ] format closely enough
+// for log-scraping tools. Not thread-safe (tests run sequentially).
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+#include <exception>
+#include <functional>
+#include <iterator>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace testing {
+
+// ---------------------------------------------------------------------------
+// Message: the streaming payload of every assertion.
+// ---------------------------------------------------------------------------
+class Message {
+ public:
+  Message() = default;
+  Message(const Message& other) { ss_ << other.str(); }
+
+  template <typename T>
+  Message& operator<<(const T& value) {
+    ss_ << value;
+    return *this;
+  }
+
+  [[nodiscard]] std::string str() const { return ss_.str(); }
+
+ private:
+  std::ostringstream ss_;
+};
+
+namespace internal {
+
+// ---------------------------------------------------------------------------
+// Value printing for failure messages: stream when possible, fall back to
+// element-wise printing for containers, else an opaque placeholder.
+// ---------------------------------------------------------------------------
+template <typename T, typename = void>
+struct is_streamable : std::false_type {};
+template <typename T>
+struct is_streamable<T, std::void_t<decltype(std::declval<std::ostream&>()
+                                             << std::declval<const T&>())>>
+    : std::true_type {};
+
+template <typename T, typename = void>
+struct is_container : std::false_type {};
+template <typename T>
+struct is_container<T, std::void_t<decltype(std::begin(std::declval<const T&>())),
+                                   decltype(std::end(std::declval<const T&>()))>>
+    : std::true_type {};
+
+template <typename T>
+void PrintValue(std::ostream& os, const T& value) {
+  if constexpr (std::is_same_v<T, bool>) {
+    os << (value ? "true" : "false");
+  } else if constexpr (is_streamable<T>::value) {
+    os << value;
+  } else if constexpr (is_container<T>::value) {
+    os << "{ ";
+    bool first = true;
+    for (const auto& item : value) {
+      if (!first) os << ", ";
+      first = false;
+      PrintValue(os, item);
+    }
+    os << " }";
+  } else {
+    os << "<unprintable " << sizeof(T) << "-byte object>";
+  }
+}
+
+template <typename T>
+std::string PrintToString(const T& value) {
+  std::ostringstream os;
+  PrintValue(os, value);
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Per-test state and the global run context.
+// ---------------------------------------------------------------------------
+struct TestState {
+  bool failed = false;
+  bool skipped = false;
+  std::vector<std::string> failure_messages;
+};
+
+inline TestState*& CurrentState() {
+  static TestState* state = nullptr;
+  return state;
+}
+
+inline std::vector<std::string>& TraceStack() {
+  static std::vector<std::string> stack;
+  return stack;
+}
+
+class ScopedTrace {
+ public:
+  ScopedTrace(const char* file, int line, const Message& message) {
+    std::ostringstream os;
+    os << file << ":" << line << ": " << message.str();
+    TraceStack().push_back(os.str());
+  }
+  ~ScopedTrace() { TraceStack().pop_back(); }
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+};
+
+enum class FailureKind { kNonFatal, kFatal, kSkip };
+
+// The `AssertHelper(...) = Message() << ...` trick: operator<< binds tighter
+// than operator=, so user streaming lands in the Message before recording.
+class AssertHelper {
+ public:
+  AssertHelper(const char* file, int line, FailureKind kind)
+      : file_(file), line_(line), kind_(kind) {}
+
+  void operator=(const Message& message) const {
+    TestState* state = CurrentState();
+    if (state == nullptr) return;
+    if (kind_ == FailureKind::kSkip) {
+      state->skipped = true;
+      return;
+    }
+    state->failed = true;
+    std::ostringstream os;
+    os << file_ << ":" << line_ << ": Failure\n" << message.str();
+    for (const std::string& frame : TraceStack()) {
+      os << "\nGoogle Test trace:\n" << frame;
+    }
+    state->failure_messages.push_back(os.str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  FailureKind kind_;
+};
+
+// Comparison helpers live in the header so any -Wsign-compare from mixed
+// operand types is attributed (and suppressed) here, not at the call site.
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wsign-compare"
+#endif
+struct CmpResult {
+  bool ok;
+  std::string message;
+};
+
+template <typename A, typename B, typename Op>
+CmpResult DoCompare(Op op, const A& a, const B& b, const char* expr_a,
+                    const char* expr_b, const char* op_text, bool equality) {
+  if (op(a, b)) return {true, {}};
+  std::ostringstream os;
+  if (equality) {
+    os << "Expected equality of these values:\n  " << expr_a
+       << "\n    Which is: " << PrintToString(a) << "\n  " << expr_b
+       << "\n    Which is: " << PrintToString(b);
+  } else {
+    os << "Expected: (" << expr_a << ") " << op_text << " (" << expr_b
+       << "), actual: " << PrintToString(a) << " vs " << PrintToString(b);
+  }
+  return {false, os.str()};
+}
+
+struct OpEq {
+  template <typename A, typename B>
+  bool operator()(const A& a, const B& b) const { return a == b; }
+};
+struct OpNe {
+  template <typename A, typename B>
+  bool operator()(const A& a, const B& b) const { return a != b; }
+};
+struct OpLt {
+  template <typename A, typename B>
+  bool operator()(const A& a, const B& b) const { return a < b; }
+};
+struct OpLe {
+  template <typename A, typename B>
+  bool operator()(const A& a, const B& b) const { return a <= b; }
+};
+struct OpGt {
+  template <typename A, typename B>
+  bool operator()(const A& a, const B& b) const { return a > b; }
+};
+struct OpGe {
+  template <typename A, typename B>
+  bool operator()(const A& a, const B& b) const { return a >= b; }
+};
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
+
+template <typename Exception, typename Fn>
+bool ThrowsExpected(Fn&& fn) {
+  try {
+    fn();
+  } catch (const Exception&) {
+    return true;
+  } catch (...) {
+    return false;
+  }
+  return false;
+}
+
+template <typename Fn>
+bool ThrowsAnything(Fn&& fn) {
+  try {
+    fn();
+  } catch (...) {
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Registration: plain tests, parameterized tests, instantiations.
+// ---------------------------------------------------------------------------
+class TestCase;  // fwd: ::testing::Test
+
+struct TestEntry {
+  std::string suite;
+  std::string name;
+  std::function<void()> run;  // constructs, runs, destroys one test object
+};
+
+inline std::vector<TestEntry>& RegisteredTests() {
+  static std::vector<TestEntry> tests;
+  return tests;
+}
+
+struct ParamTestEntry {
+  std::string suite;
+  std::string name;
+  std::function<void(const void*)> run_with_param;
+};
+
+inline std::vector<ParamTestEntry>& RegisteredParamTests() {
+  static std::vector<ParamTestEntry> tests;
+  return tests;
+}
+
+// Instantiations expand lazily inside RUN_ALL_TESTS so TEST_P/INSTANTIATE
+// static-init order never matters.
+inline std::vector<std::function<void()>>& PendingInstantiations() {
+  static std::vector<std::function<void()>> pending;
+  return pending;
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Test base classes.
+// ---------------------------------------------------------------------------
+class Test {
+ public:
+  virtual ~Test() = default;
+
+ protected:
+  Test() = default;
+  virtual void SetUp() {}
+  virtual void TearDown() {}
+  virtual void TestBody() = 0;
+
+ public:
+  void RunSingle() {
+    SetUp();
+    TestBody();
+    TearDown();
+  }
+};
+
+template <typename T>
+class TestWithParam : public Test {
+ public:
+  using ParamType = T;
+  [[nodiscard]] const T& GetParam() const { return *current_param_; }
+  static void SetParam(const T* param) { current_param_ = param; }
+
+ private:
+  static inline const T* current_param_ = nullptr;
+};
+
+template <typename T>
+struct TestParamInfo {
+  T param;
+  std::size_t index;
+};
+
+// Values(...) materialises to the suite's ParamType at instantiation time,
+// so Values("a", "b") feeds a TestWithParam<std::string> correctly.
+template <typename... Ts>
+struct ValuesHolder {
+  std::tuple<Ts...> values;
+
+  template <typename T>
+  [[nodiscard]] std::vector<T> Materialize() const {
+    std::vector<T> out;
+    out.reserve(sizeof...(Ts));
+    std::apply([&out](const Ts&... vs) { (out.push_back(static_cast<T>(vs)), ...); },
+               values);
+    return out;
+  }
+};
+
+template <typename... Ts>
+ValuesHolder<std::decay_t<Ts>...> Values(Ts&&... values) {
+  return {std::tuple<std::decay_t<Ts>...>(std::forward<Ts>(values)...)};
+}
+
+namespace internal {
+
+inline int RegisterTest(const char* suite, const char* name,
+                        std::function<std::unique_ptr<Test>()> factory) {
+  RegisteredTests().push_back(
+      {suite, name, [factory = std::move(factory)]() { factory()->RunSingle(); }});
+  return 0;
+}
+
+template <typename Suite>
+int RegisterParamTest(const char* suite, const char* name,
+                      std::function<std::unique_ptr<Test>()> factory) {
+  using T = typename Suite::ParamType;
+  RegisteredParamTests().push_back(
+      {suite, name, [factory = std::move(factory)](const void* param) {
+         Suite::SetParam(static_cast<const T*>(param));
+         factory()->RunSingle();
+       }});
+  return 0;
+}
+
+template <typename T>
+std::string DefaultParamName(const TestParamInfo<T>& info) {
+  return std::to_string(info.index);
+}
+
+template <typename Suite, typename Holder, typename NameGen>
+int RegisterInstantiation(const char* prefix, const char* suite,
+                          const Holder& holder, NameGen name_gen) {
+  using T = typename Suite::ParamType;
+  auto params = std::make_shared<std::vector<T>>(holder.template Materialize<T>());
+  std::string prefix_str = prefix;
+  std::string suite_str = suite;
+  PendingInstantiations().push_back([params, prefix_str, suite_str, name_gen]() {
+    for (std::size_t i = 0; i < params->size(); ++i) {
+      const std::string label = name_gen(TestParamInfo<T>{(*params)[i], i});
+      for (const ParamTestEntry& entry : RegisteredParamTests()) {
+        if (entry.suite != suite_str) continue;
+        const void* param_ptr = &(*params)[i];
+        auto run = entry.run_with_param;
+        // `params` rides along in the closure so the pointed-to element
+        // outlives the expansion phase.
+        RegisteredTests().push_back(
+            {prefix_str + "/" + suite_str, entry.name + "/" + label,
+             [run, param_ptr, params]() { run(param_ptr); }});
+      }
+    }
+  });
+  return 0;
+}
+
+template <typename Suite, typename Holder>
+int RegisterInstantiation(const char* prefix, const char* suite,
+                          const Holder& holder) {
+  using T = typename Suite::ParamType;
+  return RegisterInstantiation<Suite>(prefix, suite, holder,
+                                      &DefaultParamName<T>);
+}
+
+int RunAllTests();
+
+}  // namespace internal
+
+inline void InitGoogleTest(int* /*argc*/, char** /*argv*/) {}
+inline void InitGoogleTest() {}
+
+}  // namespace testing
+
+// ---------------------------------------------------------------------------
+// Macros.
+// ---------------------------------------------------------------------------
+#define MMG_CONCAT_IMPL_(a, b) a##b
+#define MMG_CONCAT_(a, b) MMG_CONCAT_IMPL_(a, b)
+
+// Guards against `if (x) EXPECT_...; else ...` swallowing the user's else.
+#define MMG_BLOCKER_ \
+  switch (0)         \
+  case 0:            \
+  default:
+
+#define MMG_MESSAGE_AT_(kind) \
+  ::testing::internal::AssertHelper(__FILE__, __LINE__, kind) = ::testing::Message()
+
+#define MMG_NONFATAL_ MMG_MESSAGE_AT_(::testing::internal::FailureKind::kNonFatal)
+#define MMG_FATAL_ return MMG_MESSAGE_AT_(::testing::internal::FailureKind::kFatal)
+
+#define FAIL() MMG_FATAL_ << "Failed\n"
+#define ADD_FAILURE() MMG_NONFATAL_ << "Failed\n"
+#define SUCCEED() \
+  MMG_BLOCKER_ if (true); else MMG_NONFATAL_
+#define GTEST_SKIP() return MMG_MESSAGE_AT_(::testing::internal::FailureKind::kSkip)
+
+#define MMG_BOOL_(expr, expected, FAILMODE)                                  \
+  MMG_BLOCKER_                                                               \
+  if (static_cast<bool>(expr) == (expected));                                \
+  else                                                                       \
+    FAILMODE << "Value of: " #expr "\n  Actual: "                            \
+             << ((expected) ? "false" : "true")                              \
+             << "\nExpected: " << ((expected) ? "true" : "false") << "\n"
+
+#define EXPECT_TRUE(expr) MMG_BOOL_(expr, true, MMG_NONFATAL_)
+#define EXPECT_FALSE(expr) MMG_BOOL_(expr, false, MMG_NONFATAL_)
+#define ASSERT_TRUE(expr) MMG_BOOL_(expr, true, MMG_FATAL_)
+#define ASSERT_FALSE(expr) MMG_BOOL_(expr, false, MMG_FATAL_)
+
+#define MMG_CMP_(v1, v2, OP, op_text, equality, FAILMODE)                     \
+  MMG_BLOCKER_                                                                \
+  if (auto mmg_result = ::testing::internal::DoCompare(                       \
+          ::testing::internal::OP{}, (v1), (v2), #v1, #v2, op_text, equality); \
+      mmg_result.ok);                                                         \
+  else                                                                        \
+    FAILMODE << mmg_result.message << "\n"
+
+#define EXPECT_EQ(v1, v2) MMG_CMP_(v1, v2, OpEq, "==", true, MMG_NONFATAL_)
+#define EXPECT_NE(v1, v2) MMG_CMP_(v1, v2, OpNe, "!=", false, MMG_NONFATAL_)
+#define EXPECT_LT(v1, v2) MMG_CMP_(v1, v2, OpLt, "<", false, MMG_NONFATAL_)
+#define EXPECT_LE(v1, v2) MMG_CMP_(v1, v2, OpLe, "<=", false, MMG_NONFATAL_)
+#define EXPECT_GT(v1, v2) MMG_CMP_(v1, v2, OpGt, ">", false, MMG_NONFATAL_)
+#define EXPECT_GE(v1, v2) MMG_CMP_(v1, v2, OpGe, ">=", false, MMG_NONFATAL_)
+#define ASSERT_EQ(v1, v2) MMG_CMP_(v1, v2, OpEq, "==", true, MMG_FATAL_)
+#define ASSERT_NE(v1, v2) MMG_CMP_(v1, v2, OpNe, "!=", false, MMG_FATAL_)
+#define ASSERT_LT(v1, v2) MMG_CMP_(v1, v2, OpLt, "<", false, MMG_FATAL_)
+#define ASSERT_LE(v1, v2) MMG_CMP_(v1, v2, OpLe, "<=", false, MMG_FATAL_)
+#define ASSERT_GT(v1, v2) MMG_CMP_(v1, v2, OpGt, ">", false, MMG_FATAL_)
+#define ASSERT_GE(v1, v2) MMG_CMP_(v1, v2, OpGe, ">=", false, MMG_FATAL_)
+
+#define EXPECT_NEAR(v1, v2, abs_error)                                        \
+  MMG_BLOCKER_                                                                \
+  if (auto mmg_diff = ((v1) > (v2)) ? ((v1) - (v2)) : ((v2) - (v1));          \
+      mmg_diff <= (abs_error));                                               \
+  else                                                                        \
+    MMG_NONFATAL_ << "The difference between " #v1 " and " #v2 " is "         \
+                  << mmg_diff << ", which exceeds " #abs_error "\n"
+
+#define MMG_THROW_(statement, exception_type, FAILMODE)                       \
+  MMG_BLOCKER_                                                                \
+  if (::testing::internal::ThrowsExpected<exception_type>(                    \
+          [&]() { statement; }));                                             \
+  else                                                                        \
+    FAILMODE << "Expected: " #statement " throws an exception of type "       \
+             << #exception_type ".\n  Actual: it throws a different type "    \
+                "or nothing.\n"
+
+#define EXPECT_THROW(statement, exception_type) \
+  MMG_THROW_(statement, exception_type, MMG_NONFATAL_)
+#define ASSERT_THROW(statement, exception_type) \
+  MMG_THROW_(statement, exception_type, MMG_FATAL_)
+
+#define MMG_NO_THROW_(statement, FAILMODE)                                  \
+  MMG_BLOCKER_                                                              \
+  if (!::testing::internal::ThrowsAnything([&]() { statement; }));          \
+  else                                                                      \
+    FAILMODE << "Expected: " #statement " doesn't throw an exception.\n"    \
+                "  Actual: it throws.\n"
+
+#define EXPECT_NO_THROW(statement) MMG_NO_THROW_(statement, MMG_NONFATAL_)
+#define ASSERT_NO_THROW(statement) MMG_NO_THROW_(statement, MMG_FATAL_)
+
+#define SCOPED_TRACE(message)                                     \
+  const ::testing::internal::ScopedTrace MMG_CONCAT_(mmg_trace_,  \
+                                                     __LINE__)(   \
+      __FILE__, __LINE__, ::testing::Message() << (message))
+
+#define MMG_CLASS_NAME_(suite, name) MmgTest_##suite##_##name
+
+#define MMG_TEST_(suite, name, base)                                         \
+  class MMG_CLASS_NAME_(suite, name) final : public base {                   \
+    void TestBody() override;                                                \
+  };                                                                         \
+  [[maybe_unused]] static const int MMG_CONCAT_(mmg_reg_##suite##_, name) =  \
+      ::testing::internal::RegisterTest(                                     \
+          #suite, #name, []() -> std::unique_ptr<::testing::Test> {          \
+            return std::make_unique<MMG_CLASS_NAME_(suite, name)>();         \
+          });                                                                \
+  void MMG_CLASS_NAME_(suite, name)::TestBody()
+
+#define TEST(suite, name) MMG_TEST_(suite, name, ::testing::Test)
+#define TEST_F(fixture, name) MMG_TEST_(fixture, name, fixture)
+
+#define TEST_P(suite, name)                                                  \
+  class MMG_CLASS_NAME_(suite, name) final : public suite {                  \
+    void TestBody() override;                                                \
+  };                                                                         \
+  [[maybe_unused]] static const int MMG_CONCAT_(mmg_preg_##suite##_, name) = \
+      ::testing::internal::RegisterParamTest<suite>(                         \
+          #suite, #name, []() -> std::unique_ptr<::testing::Test> {          \
+            return std::make_unique<MMG_CLASS_NAME_(suite, name)>();         \
+          });                                                                \
+  void MMG_CLASS_NAME_(suite, name)::TestBody()
+
+#define INSTANTIATE_TEST_SUITE_P(prefix, suite, ...)                         \
+  [[maybe_unused]] static const int MMG_CONCAT_(mmg_inst_##suite##_,         \
+                                                __LINE__) =                  \
+      ::testing::internal::RegisterInstantiation<suite>(#prefix, #suite,     \
+                                                        __VA_ARGS__)
+
+// ---------------------------------------------------------------------------
+// Runner.
+// ---------------------------------------------------------------------------
+namespace testing::internal {
+
+inline int RunAllTests() {
+  for (const auto& expand : PendingInstantiations()) expand();
+  PendingInstantiations().clear();
+
+  auto& tests = RegisteredTests();
+  std::size_t failed = 0;
+  std::size_t skipped = 0;
+  std::vector<std::string> failed_names;
+
+  std::printf("[==========] Running %zu tests (minigtest).\n", tests.size());
+  for (const TestEntry& entry : tests) {
+    const std::string full = entry.suite + "." + entry.name;
+    std::printf("[ RUN      ] %s\n", full.c_str());
+    TestState state;
+    CurrentState() = &state;
+    try {
+      entry.run();
+    } catch (const std::exception& e) {
+      state.failed = true;
+      state.failure_messages.push_back(
+          std::string("unknown file: Failure\nC++ exception with description \"") +
+          e.what() + "\" thrown in the test body.");
+    } catch (...) {
+      state.failed = true;
+      state.failure_messages.push_back(
+          "unknown file: Failure\nUnknown C++ exception thrown in the test body.");
+    }
+    CurrentState() = nullptr;
+    for (const std::string& message : state.failure_messages) {
+      std::printf("%s\n", message.c_str());
+    }
+    if (state.failed) {
+      ++failed;
+      failed_names.push_back(full);
+      std::printf("[  FAILED  ] %s\n", full.c_str());
+    } else if (state.skipped) {
+      ++skipped;
+      std::printf("[  SKIPPED ] %s\n", full.c_str());
+    } else {
+      std::printf("[       OK ] %s\n", full.c_str());
+    }
+  }
+
+  std::printf("[==========] %zu tests ran.\n", tests.size());
+  std::printf("[  PASSED  ] %zu tests.\n", tests.size() - failed - skipped);
+  if (skipped != 0) std::printf("[  SKIPPED ] %zu tests.\n", skipped);
+  if (failed != 0) {
+    std::printf("[  FAILED  ] %zu tests, listed below:\n", failed);
+    for (const std::string& name : failed_names) {
+      std::printf("[  FAILED  ] %s\n", name.c_str());
+    }
+  }
+  return failed == 0 ? 0 : 1;
+}
+
+}  // namespace testing::internal
+
+#define RUN_ALL_TESTS() ::testing::internal::RunAllTests()

@@ -1,0 +1,7 @@
+// Entry point for suites linked against the minigtest fallback.
+#include <gtest/gtest.h>
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
