@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verify, exactly as ROADMAP.md specifies:
 #   cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
+# followed by a bench smoke: bench_batch on tiny instances must emit a
+# BENCH_batch.json that parses as JSON (skipped if google-benchmark was not
+# found and the bench targets were therefore never built).
 #
 # Run from the repository root. Pass extra cmake arguments through, e.g.
 #   scripts/ci.sh -DMMDIAG_FORCE_BUNDLED_GTEST=ON
@@ -12,3 +15,15 @@ cmake -B build -S . "$@"
 cmake --build build -j
 cd build
 ctest --output-on-failure -j
+
+if [ -x bench/bench_batch ]; then
+  ./bench/bench_batch --smoke --out BENCH_batch.json
+  if command -v python3 >/dev/null; then
+    python3 -m json.tool BENCH_batch.json > /dev/null
+    echo "bench smoke: BENCH_batch.json is valid JSON"
+  else
+    echo "bench smoke: python3 unavailable, JSON validation skipped"
+  fi
+else
+  echo "bench smoke: bench_batch not built (google-benchmark missing), skipped"
+fi

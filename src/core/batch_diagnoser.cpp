@@ -1,0 +1,64 @@
+#include "core/batch_diagnoser.hpp"
+
+#include <stdexcept>
+
+#include "core/certified_partition.hpp"
+#include "util/timer.hpp"
+
+namespace mmdiag {
+
+BatchDiagnoser::BatchDiagnoser(const Topology& topology, const Graph& graph,
+                               BatchOptions options)
+    : BatchDiagnoser(graph,
+                     [&] {
+                       // Delegate the delta/plan resolution to a throwaway
+                       // sequential Diagnoser so batch and sequential setup
+                       // can never disagree.
+                       return Diagnoser(topology, graph, options.diagnoser)
+                           .partition();
+                     }(),
+                     options) {}
+
+BatchDiagnoser::BatchDiagnoser(const Graph& graph, CertifiedPartition partition,
+                               BatchOptions options)
+    : graph_(&graph), pool_(options.threads) {
+  lanes_.reserve(pool_.size());
+  for (unsigned lane = 0; lane < pool_.size(); ++lane) {
+    lanes_.push_back(
+        std::make_unique<Diagnoser>(graph, partition, options.diagnoser));
+  }
+}
+
+BatchResult BatchDiagnoser::diagnose_all(
+    const std::vector<const SyndromeOracle*>& oracles) {
+  for (const SyndromeOracle* oracle : oracles) {
+    if (oracle == nullptr) {
+      throw std::invalid_argument("BatchDiagnoser: null oracle in batch");
+    }
+  }
+  BatchResult out;
+  out.results.resize(oracles.size());
+  Timer timer;
+  pool_.parallel_for(oracles.size(), [&](unsigned lane, std::size_t i) {
+    out.results[i] = lanes_[lane]->diagnose(*oracles[i]);
+  });
+  out.seconds = timer.seconds();
+  for (const DiagnosisResult& r : out.results) {
+    out.succeeded += r.success ? 1 : 0;
+    out.total_lookups += r.lookups;
+  }
+  return out;
+}
+
+BatchResult BatchDiagnoser::diagnose_all(
+    const std::vector<Syndrome>& syndromes) {
+  std::vector<TableOracle> oracles;
+  oracles.reserve(syndromes.size());
+  for (const Syndrome& s : syndromes) oracles.emplace_back(*graph_, s);
+  std::vector<const SyndromeOracle*> ptrs;
+  ptrs.reserve(oracles.size());
+  for (const TableOracle& o : oracles) ptrs.push_back(&o);
+  return diagnose_all(ptrs);
+}
+
+}  // namespace mmdiag

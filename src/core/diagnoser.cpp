@@ -1,6 +1,7 @@
 #include "core/diagnoser.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace mmdiag {
 
@@ -22,14 +23,24 @@ unsigned resolve_delta(const Topology& topology, const DiagnoserOptions& o) {
 
 Diagnoser::Diagnoser(const Topology& topology, const Graph& graph,
                      DiagnoserOptions options)
+    : Diagnoser(graph,
+                find_certified_partition(topology, graph,
+                                         resolve_delta(topology, options),
+                                         options.rule,
+                                         options.validate_all_components),
+                options) {}
+
+Diagnoser::Diagnoser(const Graph& graph, CertifiedPartition partition,
+                     DiagnoserOptions options)
     : graph_(&graph),
       options_(options),
-      delta_(resolve_delta(topology, options)),
-      partition_(find_certified_partition(topology, graph, delta_,
-                                          options.rule,
-                                          options.validate_all_components)),
+      delta_(partition.delta),
+      partition_(std::move(partition)),
       probe_builder_(graph, options.rule),
       final_builder_(graph, options.final_rule) {
+  if (!partition_.plan) {
+    throw std::invalid_argument("Diagnoser: certified partition has no plan");
+  }
   boundary_seen_.resize(graph.num_nodes());
 }
 

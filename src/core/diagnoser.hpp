@@ -67,6 +67,15 @@ class Diagnoser {
   Diagnoser(const Topology& topology, const Graph& graph,
             DiagnoserOptions options = {});
 
+  /// Adopts a partition certified elsewhere (the plan is shared, not
+  /// copied). This is the cheap constructor: calibration is the dominant
+  /// setup cost, so BatchDiagnoser certifies once and builds one Diagnoser
+  /// per worker lane from the same partition. `partition.delta` becomes the
+  /// fault bound; options.rule must match the rule the partition was
+  /// calibrated under or phase-1 probes may fail to replay the calibration.
+  Diagnoser(const Graph& graph, CertifiedPartition partition,
+            DiagnoserOptions options = {});
+
   /// Diagnose one syndrome. The oracle's look-up counter is reset first.
   [[nodiscard]] DiagnosisResult diagnose(const SyndromeOracle& oracle);
 

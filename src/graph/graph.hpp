@@ -25,12 +25,18 @@ class Graph {
   }
   [[nodiscard]] EdgeIndex num_edges() const noexcept { return neighbors_.size() / 2; }
 
+  // A node-less graph — default-constructed (no offsets at all) or the
+  // explicit zero-node CSR (offsets == {0}) — has no offsets_[u + 1] to
+  // read, so adjacency queries answer "nothing" instead of indexing out of
+  // range. Node ids are only meaningful below num_nodes() otherwise.
   [[nodiscard]] std::span<const Node> neighbors(Node u) const noexcept {
+    if (offsets_.size() <= 1) return {};
     return {neighbors_.data() + offsets_[u],
             neighbors_.data() + offsets_[u + 1]};
   }
 
   [[nodiscard]] unsigned degree(Node u) const noexcept {
+    if (offsets_.size() <= 1) return 0;
     return static_cast<unsigned>(offsets_[u + 1] - offsets_[u]);
   }
 

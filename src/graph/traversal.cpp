@@ -11,6 +11,7 @@ namespace mmdiag {
 std::vector<std::uint32_t> bfs_distances(const Graph& g, Node source) {
   std::vector<std::uint32_t> dist(g.num_nodes(),
                                   std::numeric_limits<std::uint32_t>::max());
+  if (g.num_nodes() == 0) return dist;  // no dist[source] slot to seed
   std::vector<Node> queue;
   queue.reserve(g.num_nodes());
   dist[source] = 0;

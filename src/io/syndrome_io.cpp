@@ -1,6 +1,8 @@
 #include "io/syndrome_io.hpp"
 
+#include <charconv>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -112,9 +114,35 @@ void write_node_list(std::ostream& os, const std::vector<Node>& nodes) {
 }
 
 std::vector<Node> read_node_list(std::istream& is) {
+  const auto fail_list = [](std::size_t line, const std::string& what) {
+    throw std::runtime_error("node list, line " + std::to_string(line) + ": " +
+                             what);
+  };
   std::vector<Node> out;
-  std::uint64_t v = 0;
-  while (is >> v) out.push_back(static_cast<Node>(v));
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string token;
+    while (ls >> token) {
+      std::uint64_t value = 0;
+      const char* const first = token.data();
+      const char* const last = first + token.size();
+      // from_chars accepts exactly the digit strings write_node_list emits;
+      // anything else ("xyz", "-3", "1e3", partial parses like "17x") throws
+      // instead of being silently dropped the way `is >> v` used to stop.
+      const auto [ptr, ec] = std::from_chars(first, last, value);
+      if (ec != std::errc{} || ptr != last) {
+        fail_list(lineno, "expected a node id, got '" + token + "'");
+      }
+      if (value > std::numeric_limits<Node>::max()) {
+        fail_list(lineno, "node id " + token + " out of range");
+      }
+      out.push_back(static_cast<Node>(value));
+    }
+  }
   return out;
 }
 

@@ -42,6 +42,10 @@ void write_syndrome(std::ostream& os, const std::string& spec,
 [[nodiscard]] LoadedSyndrome read_syndrome(std::istream& is);
 
 /// Convenience: node list serialisation ("3 17 42\n"), used for fault sets.
+/// read_node_list skips blank and '#' lines, accepts ids split over any
+/// number of lines, and throws std::runtime_error with a line-numbered
+/// message on any non-numeric or out-of-range token (empty input is an
+/// empty list, matching what write_node_list emits for one).
 void write_node_list(std::ostream& os, const std::vector<Node>& nodes);
 [[nodiscard]] std::vector<Node> read_node_list(std::istream& is);
 

@@ -1,0 +1,259 @@
+// BatchDiagnoser: thread-pool correctness and bit-identical equivalence
+// with the sequential Diagnoser across topology families, batch sizes, and
+// thread counts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/batch_diagnoser.hpp"
+#include "core/diagnoser.hpp"
+#include "mm/injector.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mmdiag {
+namespace {
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  constexpr std::size_t kCount = 10000;
+  std::vector<std::atomic<int>> hits(kCount);
+  std::vector<unsigned> lane_of(kCount, ~0u);
+  pool.parallel_for(kCount, [&](unsigned lane, std::size_t i) {
+    // No gtest calls on worker threads; record and assert afterwards.
+    lane_of[i] = lane;
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+    ASSERT_LT(lane_of[i], pool.size()) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<std::size_t> order;
+  pool.parallel_for(16, [&](unsigned lane, std::size_t i) {
+    EXPECT_EQ(lane, 0u);
+    order.push_back(i);  // no synchronisation needed: inline execution
+  });
+  std::vector<std::size_t> expected(16);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, ZeroCountIsANoOp) {
+  ThreadPool pool(3);
+  pool.parallel_for(0, [&](unsigned, std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, ExceptionsPropagateToTheCaller) {
+  ThreadPool pool(4);
+  const auto boom = [](unsigned, std::size_t i) {
+    if (i == 37) throw std::runtime_error("lane exploded");
+  };
+  EXPECT_THROW(pool.parallel_for(100, boom), std::runtime_error);
+  // The pool must stay usable after an exceptional job.
+  std::atomic<std::size_t> done{0};
+  pool.parallel_for(50, [&](unsigned, std::size_t) { ++done; });
+  EXPECT_EQ(done.load(), 50u);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 25; ++round) {
+    std::atomic<std::uint64_t> sum{0};
+    pool.parallel_for(101, [&](unsigned, std::size_t i) { sum += i; });
+    ASSERT_EQ(sum.load(), 101u * 100u / 2u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+/// A deterministic mixed batch over `spec`: fault counts 0..delta cycling,
+/// all four faulty-tester behaviours.
+struct TestBatch {
+  std::vector<FaultSet> faults;
+  std::vector<LazyOracle> oracles;
+  std::vector<const SyndromeOracle*> ptrs;
+};
+
+TestBatch make_batch(const test::Instance& inst, unsigned delta,
+                     std::size_t count) {
+  TestBatch batch;
+  batch.faults.reserve(count);
+  batch.oracles.reserve(count);
+  constexpr FaultyBehavior kBehaviors[] = {
+      FaultyBehavior::kRandom, FaultyBehavior::kAllZero,
+      FaultyBehavior::kAllOne, FaultyBehavior::kAntiDiagnostic};
+  for (std::size_t i = 0; i < count; ++i) {
+    Rng rng(1000 + i);
+    batch.faults.emplace_back(
+        inst.graph.num_nodes(),
+        inject_uniform(inst.graph.num_nodes(), i % (delta + 1), rng));
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    batch.oracles.emplace_back(inst.graph, batch.faults[i], kBehaviors[i % 4],
+                               i);
+  }
+  for (const LazyOracle& o : batch.oracles) batch.ptrs.push_back(&o);
+  return batch;
+}
+
+void expect_equivalent(const DiagnosisResult& seq, const DiagnosisResult& bat,
+                       std::size_t item) {
+  ASSERT_EQ(seq.success, bat.success) << "item " << item;
+  ASSERT_EQ(seq.faults, bat.faults) << "item " << item;
+  ASSERT_EQ(seq.lookups, bat.lookups) << "item " << item;
+  ASSERT_EQ(seq.probes, bat.probes) << "item " << item;
+  ASSERT_EQ(seq.certified_component, bat.certified_component)
+      << "item " << item;
+}
+
+TEST(BatchDiagnoser, BitIdenticalToSequentialAcrossFamilies) {
+  for (const char* spec : {"hypercube 7", "star 5", "kary_ncube 4 4"}) {
+    SCOPED_TRACE(spec);
+    test::Instance inst(spec);
+    Diagnoser sequential(*inst.topo, inst.graph);
+    const TestBatch batch = make_batch(inst, sequential.delta(), 12);
+
+    std::vector<DiagnosisResult> truth;
+    for (const SyndromeOracle* oracle : batch.ptrs) {
+      truth.push_back(sequential.diagnose(*oracle));
+    }
+
+    for (const unsigned threads : {1u, 4u}) {
+      SCOPED_TRACE(threads);
+      BatchOptions options;
+      options.threads = threads;
+      BatchDiagnoser engine(*inst.topo, inst.graph, options);
+      EXPECT_EQ(engine.threads(), threads);
+      EXPECT_EQ(engine.delta(), sequential.delta());
+      const BatchResult result = engine.diagnose_all(batch.ptrs);
+      ASSERT_EQ(result.results.size(), batch.ptrs.size());
+      std::uint64_t lookups = 0;
+      std::size_t succeeded = 0;
+      for (std::size_t i = 0; i < truth.size(); ++i) {
+        expect_equivalent(truth[i], result.results[i], i);
+        lookups += truth[i].lookups;
+        succeeded += truth[i].success ? 1 : 0;
+      }
+      EXPECT_EQ(result.total_lookups, lookups);
+      EXPECT_EQ(result.succeeded, succeeded);
+    }
+  }
+}
+
+TEST(BatchDiagnoser, EmptyAndSingletonBatches) {
+  test::Instance inst("hypercube 7");
+  BatchOptions options;
+  options.threads = 3;
+  BatchDiagnoser engine(*inst.topo, inst.graph, options);
+
+  const BatchResult empty = engine.diagnose_all(
+      std::vector<const SyndromeOracle*>{});
+  EXPECT_TRUE(empty.results.empty());
+  EXPECT_EQ(empty.succeeded, 0u);
+  EXPECT_EQ(empty.total_lookups, 0u);
+
+  Rng rng(7);
+  const FaultSet faults(inst.graph.num_nodes(),
+                        inject_uniform(inst.graph.num_nodes(), 3, rng));
+  const LazyOracle oracle(inst.graph, faults, FaultyBehavior::kRandom, 1);
+  const BatchResult one = engine.diagnose_all({&oracle});
+  ASSERT_EQ(one.results.size(), 1u);
+  ASSERT_TRUE(one.results[0].success) << one.results[0].failure_reason;
+  EXPECT_EQ(test::sorted(one.results[0].faults), test::sorted(faults.nodes()));
+  EXPECT_EQ(one.succeeded, 1u);
+  EXPECT_GT(one.total_lookups, 0u);
+}
+
+TEST(BatchDiagnoser, SyndromeVectorConvenienceOverload) {
+  test::Instance inst("star 5");
+  Diagnoser sequential(*inst.topo, inst.graph);
+  std::vector<Syndrome> syndromes;
+  std::vector<FaultSet> faults;
+  for (std::size_t i = 0; i < 6; ++i) {
+    Rng rng(50 + i);
+    faults.emplace_back(inst.graph.num_nodes(),
+                        inject_uniform(inst.graph.num_nodes(), i % 4, rng));
+    syndromes.push_back(generate_syndrome(inst.graph, faults.back(),
+                                          FaultyBehavior::kRandom, i));
+  }
+  BatchOptions options;
+  options.threads = 2;
+  BatchDiagnoser engine(*inst.topo, inst.graph, options);
+  const BatchResult result = engine.diagnose_all(syndromes);
+  ASSERT_EQ(result.results.size(), syndromes.size());
+  for (std::size_t i = 0; i < syndromes.size(); ++i) {
+    const TableOracle oracle(inst.graph, syndromes[i]);
+    expect_equivalent(sequential.diagnose(oracle), result.results[i], i);
+  }
+}
+
+TEST(BatchDiagnoser, SharedPartitionConstructor) {
+  test::Instance inst("hypercube 7");
+  Diagnoser sequential(*inst.topo, inst.graph);
+  BatchOptions options;
+  options.threads = 2;
+  // Adopt the sequential diagnoser's partition instead of re-certifying.
+  BatchDiagnoser engine(inst.graph, sequential.partition(), options);
+  EXPECT_EQ(engine.partition().plan.get(), sequential.partition().plan.get());
+
+  const TestBatch batch = make_batch(inst, sequential.delta(), 5);
+  const BatchResult result = engine.diagnose_all(batch.ptrs);
+  for (std::size_t i = 0; i < batch.ptrs.size(); ++i) {
+    expect_equivalent(sequential.diagnose(*batch.ptrs[i]), result.results[i],
+                      i);
+  }
+}
+
+TEST(BatchDiagnoser, FailedItemsKeepTheirCostAndDoNotPoisonTheBatch) {
+  // One undiagnosable syndrome (every probed seed faulty, all-one testers)
+  // mixed into healthy traffic: its slot reports failure with nonzero
+  // look-ups, every other slot is unaffected.
+  test::Instance inst("hypercube 7");
+  Diagnoser sequential(*inst.topo, inst.graph);
+  const PartitionPlan& plan = *sequential.partition().plan;
+  std::vector<Node> seeds;
+  for (std::uint32_t c = 0; c < 8; ++c) seeds.push_back(plan.seed_of(c));
+  const FaultSet poisoned(inst.graph.num_nodes(), seeds);  // |F| = 8 > 7
+  Rng rng(3);
+  const FaultSet healthy(inst.graph.num_nodes(),
+                         inject_uniform(inst.graph.num_nodes(), 2, rng));
+
+  const LazyOracle bad(inst.graph, poisoned, FaultyBehavior::kAllOne, 0);
+  // Two distinct oracles over the same fault set: each oracle may be
+  // consulted by exactly one lane (the look-up counter is unsynchronised).
+  const LazyOracle good_a(inst.graph, healthy, FaultyBehavior::kRandom, 1);
+  const LazyOracle good_b(inst.graph, healthy, FaultyBehavior::kRandom, 1);
+  BatchOptions options;
+  options.threads = 2;
+  BatchDiagnoser engine(*inst.topo, inst.graph, options);
+  const BatchResult result = engine.diagnose_all({&good_a, &bad, &good_b});
+
+  ASSERT_EQ(result.results.size(), 3u);
+  EXPECT_EQ(result.succeeded, 2u);
+  EXPECT_FALSE(result.results[1].success);
+  EXPECT_GT(result.results[1].lookups, 0u);
+  for (const std::size_t i : {std::size_t{0}, std::size_t{2}}) {
+    ASSERT_TRUE(result.results[i].success);
+    EXPECT_EQ(test::sorted(result.results[i].faults),
+              test::sorted(healthy.nodes()));
+  }
+}
+
+TEST(BatchDiagnoser, NullOracleRejected) {
+  test::Instance inst("hypercube 7");
+  BatchDiagnoser engine(*inst.topo, inst.graph);
+  EXPECT_THROW((void)engine.diagnose_all({nullptr}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mmdiag

@@ -57,6 +57,25 @@ TEST(FailureInjection, AllFaultyComponentsExhaustProbes) {
   EXPECT_NE(result.failure_reason.find("probes"), std::string::npos);
 }
 
+TEST(FailureInjection, FailedDiagnosisStillReportsItsLookupCost) {
+  // Regression guard for the accounting contract: diagnose() resets the
+  // oracle counter, so every return path — including early failures — must
+  // read it back, or a failed diagnosis would claim its probes were free.
+  test::Instance inst("hypercube 7");
+  Diagnoser diagnoser(*inst.topo, inst.graph);
+  const PartitionPlan& plan = *diagnoser.partition().plan;
+  std::vector<Node> faults_vec;
+  for (std::uint32_t c = 0; c < 8; ++c) faults_vec.push_back(plan.seed_of(c));
+  const FaultSet faults(128, faults_vec);  // undiagnosable: |F| = 8 > delta
+  const LazyOracle oracle(inst.graph, faults, FaultyBehavior::kAllOne, 0);
+
+  const auto result = diagnoser.diagnose(oracle);
+  ASSERT_FALSE(result.success);
+  EXPECT_GT(result.lookups, 0u) << "failure path dropped the probe cost";
+  EXPECT_EQ(result.lookups, oracle.lookups());
+  EXPECT_EQ(result.probes, 8u);
+}
+
 TEST(FailureInjection, UnsupportedFamiliesThrowAtConstruction) {
   {
     test::Instance inst("nk_star 6 2");  // clique components (DESIGN §4.3)

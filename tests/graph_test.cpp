@@ -38,6 +38,35 @@ TEST(GraphBuilder, BasicCsr) {
   EXPECT_EQ(g.neighbor_position(1, 3), -1);
 }
 
+TEST(GraphBuilder, EmptyGraphAdjacencyIsWellDefined) {
+  // Regression: neighbors()/degree() used to read offsets_[u + 1] even when
+  // no offsets exist, so any query on a default-constructed Graph was an
+  // out-of-range read.
+  const Graph def;
+  EXPECT_EQ(def.num_nodes(), 0u);
+  EXPECT_EQ(def.num_edges(), 0u);
+  EXPECT_TRUE(def.neighbors(0).empty());
+  EXPECT_EQ(def.degree(0), 0u);
+  EXPECT_EQ(def.neighbor_position(0, 1), -1);
+  EXPECT_FALSE(def.has_edge(0, 1));
+  EXPECT_EQ(def.max_degree(), 0u);
+  EXPECT_EQ(def.min_degree(), 0u);
+
+  // The explicit zero-node CSR behaves identically.
+  const Graph csr(std::vector<EdgeIndex>{0}, std::vector<Node>{});
+  EXPECT_EQ(csr.num_nodes(), 0u);
+  EXPECT_TRUE(csr.neighbors(0).empty());
+  EXPECT_EQ(csr.degree(0), 0u);
+
+  // And the zero-node builder path plus the traversals over it.
+  const Graph built = build_graph_from_edges(0, {});
+  EXPECT_EQ(built.num_nodes(), 0u);
+  EXPECT_TRUE(is_connected(built));  // vacuously
+  EXPECT_TRUE(bfs_distances(built, 0).empty());
+  EXPECT_EQ(connected_components(built).count, 0u);
+  EXPECT_EQ(diameter(built), 0u);
+}
+
 TEST(GraphBuilder, RejectsSelfLoopsAndDuplicates) {
   EXPECT_THROW((void)build_graph_from_edges(3, {{0, 0}}), std::invalid_argument);
   EXPECT_THROW((void)build_graph_from_edges(3, {{0, 1}, {1, 0}}), std::invalid_argument);

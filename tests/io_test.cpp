@@ -113,5 +113,39 @@ TEST(NodeListIo, RoundTrip) {
   EXPECT_TRUE(read_node_list(empty).empty());
 }
 
+TEST(NodeListIo, EmptyListRoundTrip) {
+  std::stringstream buffer;
+  write_node_list(buffer, {});
+  EXPECT_EQ(buffer.str(), "\n");
+  EXPECT_TRUE(read_node_list(buffer).empty());
+}
+
+TEST(NodeListIo, CommentsAndMultipleLinesTolerated) {
+  std::stringstream in("# fault ids\n3 17\n\n42\n");
+  EXPECT_EQ(read_node_list(in), (std::vector<Node>{3, 17, 42}));
+}
+
+TEST(NodeListIo, GarbageTokensRejectedWithLineNumbers) {
+  // Regression: `is >> v` used to stop silently at the first non-numeric
+  // token, so "3 17 xyz" read as {3, 17} instead of failing.
+  const auto expect_fail = [](const std::string& text,
+                              const std::string& fragment) {
+    std::stringstream in(text);
+    try {
+      (void)read_node_list(in);
+      FAIL() << "expected failure for: " << text;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_fail("3 17 xyz\n", "line 1: expected a node id, got 'xyz'");
+  expect_fail("3\n17x\n", "line 2");
+  expect_fail("-3\n", "'-3'");
+  expect_fail("1e3\n", "'1e3'");
+  expect_fail("3 0x17\n", "'0x17'");
+  expect_fail("99999999999\n", "out of range");  // exceeds Node (u32)
+}
+
 }  // namespace
 }  // namespace mmdiag
