@@ -18,11 +18,19 @@
 //   mmdiag_cli info <spec...>
 //       Print the topology's constants and its certified partition.
 //
-// Exit status: 0 on success, 1 on diagnosis failure, 2 on usage errors.
+//   mmdiag_cli fuzz [--cases N] [--seed S] [--out-dir DIR] ...
+//   mmdiag_cli fuzz --replay FILE
+//       Differentially fuzz the §5 driver against the exact solver over the
+//       registered topology catalog; divergences are minimized and written
+//       as replayable .repro files. --replay re-executes one repro file.
+//
+// Exit status: 0 on success, 1 on diagnosis failure / fuzz divergence,
+// 2 on usage errors.
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <string>
@@ -32,10 +40,12 @@
 #include "core/certified_partition.hpp"
 #include "core/diagnoser.hpp"
 #include "core/verifier.hpp"
+#include "fuzz/fuzzer.hpp"
 #include "io/syndrome_io.hpp"
 #include "mm/injector.hpp"
 #include "mm/syndrome.hpp"
 #include "topology/registry.hpp"
+#include "util/parse.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -49,17 +59,35 @@ int usage() {
                "[--behavior random|all-zero|all-one|anti] -o FILE\n"
             << "  mmdiag_cli diagnose FILE [--verify]\n"
             << "  mmdiag_cli diagnose --batch DIR [--threads N]\n"
-            << "  mmdiag_cli info <spec...>\n";
+            << "  mmdiag_cli info <spec...>\n"
+            << "  mmdiag_cli fuzz [--cases N] [--seed S] [--out-dir DIR] "
+               "[--max-bugs K] [--budget-seconds T]\n"
+            << "             [--sabotage none|rule-mismatch|drop-fault]\n"
+            << "  mmdiag_cli fuzz --replay FILE "
+               "[--sabotage none|rule-mismatch|drop-fault]\n";
   return 2;
 }
 
-FaultyBehavior parse_behavior(const std::string& name) {
-  if (name == "random") return FaultyBehavior::kRandom;
-  if (name == "all-zero") return FaultyBehavior::kAllZero;
-  if (name == "all-one") return FaultyBehavior::kAllOne;
-  if (name == "anti") return FaultyBehavior::kAntiDiagnostic;
-  throw std::invalid_argument("unknown behaviour '" + name + "'");
+/// Parses the value of `flag` into `out`; prints a usage diagnostic and
+/// returns false on anything parse_unsigned (util/parse.hpp) rejects —
+/// empty, signs, trailing junk ("12junk"), overflow — so bad command lines
+/// become usage errors instead of uncaught std::stoul exceptions or silent
+/// wrap-arounds.
+template <typename T>
+bool parse_flag_value(const std::string& flag, const std::string& token,
+                      std::uint64_t max_value, T& out) {
+  const auto value = parse_unsigned(token, max_value);
+  if (!value) {
+    std::cerr << "bad value for " << flag << ": '" << token
+              << "' (expected an integer in [0, " << max_value << "])\n";
+    return false;
+  }
+  out = static_cast<T>(*value);
+  return true;
 }
+
+/// Threads beyond this are a typo, not a machine.
+constexpr std::uint64_t kMaxThreads = 4096;
 
 int cmd_generate(const std::vector<std::string>& args) {
   std::string spec, out_path;
@@ -68,11 +96,18 @@ int cmd_generate(const std::vector<std::string>& args) {
   FaultyBehavior behavior = FaultyBehavior::kRandom;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--faults" && i + 1 < args.size()) {
-      faults = std::stoul(args[++i]);
+      if (!parse_flag_value("--faults", args[++i],
+                            std::numeric_limits<std::uint32_t>::max(),
+                            faults)) {
+        return usage();
+      }
     } else if (args[i] == "--seed" && i + 1 < args.size()) {
-      seed = std::stoull(args[++i]);
+      if (!parse_flag_value("--seed", args[++i],
+                            std::numeric_limits<std::uint64_t>::max(), seed)) {
+        return usage();
+      }
     } else if (args[i] == "--behavior" && i + 1 < args.size()) {
-      behavior = parse_behavior(args[++i]);
+      behavior = behavior_from_string(args[++i]);
     } else if (args[i] == "-o" && i + 1 < args.size()) {
       out_path = args[++i];
     } else {
@@ -199,7 +234,9 @@ int cmd_diagnose(const std::vector<std::string>& args) {
     } else if (args[i] == "--batch" && i + 1 < args.size()) {
       batch_dir = args[++i];
     } else if (args[i] == "--threads" && i + 1 < args.size()) {
-      threads = static_cast<unsigned>(std::stoul(args[++i]));
+      if (!parse_flag_value("--threads", args[++i], kMaxThreads, threads)) {
+        return usage();
+      }
     } else {
       path = args[i];
     }
@@ -262,6 +299,116 @@ int cmd_info(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_fuzz_replay(const std::string& path, Sabotage sabotage) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot read " << path << "\n";
+    return 2;
+  }
+  const FuzzCase c = read_repro(in);
+  std::cout << "replaying " << path << ": " << c.spec << ", delta " << c.delta
+            << ", " << c.faults.size() << " fault(s), pattern "
+            << to_string(c.pattern) << ", behaviour " << to_string(c.behavior)
+            << "\n";
+  FuzzContext ctx;
+  const DiffReport report = run_differential(ctx, c, sabotage);
+  if (!report.diverged()) {
+    std::cout << "replay clean: all driver configurations agree with the "
+                 "exact solver\n";
+    return 0;
+  }
+  for (const Divergence& d : report.divergences) {
+    std::cerr << "DIVERGENCE [" << d.config << "] " << d.detail << "\n";
+  }
+  return 1;
+}
+
+int cmd_fuzz(const std::vector<std::string>& args) {
+  FuzzOptions options;
+  std::string replay_path, out_dir = ".";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--cases" && i + 1 < args.size()) {
+      if (!parse_flag_value("--cases", args[++i], std::uint64_t{100'000'000},
+                            options.cases)) {
+        return usage();
+      }
+    } else if (args[i] == "--seed" && i + 1 < args.size()) {
+      if (!parse_flag_value("--seed", args[++i],
+                            std::numeric_limits<std::uint64_t>::max(),
+                            options.seed)) {
+        return usage();
+      }
+    } else if (args[i] == "--max-bugs" && i + 1 < args.size()) {
+      if (!parse_flag_value("--max-bugs", args[++i], std::uint64_t{1'000'000},
+                            options.max_bugs)) {
+        return usage();
+      }
+    } else if (args[i] == "--budget-seconds" && i + 1 < args.size()) {
+      std::uint64_t seconds = 0;
+      if (!parse_flag_value("--budget-seconds", args[++i],
+                            std::uint64_t{86'400}, seconds)) {
+        return usage();
+      }
+      options.budget_seconds = static_cast<double>(seconds);
+    } else if (args[i] == "--sabotage" && i + 1 < args.size()) {
+      options.sabotage = sabotage_from_string(args[++i]);
+    } else if (args[i] == "--replay" && i + 1 < args.size()) {
+      replay_path = args[++i];
+    } else if (args[i] == "--out-dir" && i + 1 < args.size()) {
+      out_dir = args[++i];
+    } else {
+      std::cerr << "unknown fuzz argument '" << args[i] << "'\n";
+      return usage();
+    }
+  }
+  if (!replay_path.empty()) return cmd_fuzz_replay(replay_path, options.sabotage);
+
+  Fuzzer fuzzer(options);
+  Timer timer;
+  const FuzzSummary summary = fuzzer.run();
+  std::cout << "fuzz: " << summary.cases_run << " case(s), seed "
+            << options.seed << ", " << summary.beyond_delta_cases
+            << " beyond-delta, " << timer.millis() << " ms"
+            << (summary.budget_exhausted ? " (budget exhausted)" : "") << "\n";
+  std::cout << "  families:";
+  for (const auto& [family, count] : summary.cases_per_family) {
+    std::cout << ' ' << family << '=' << count;
+  }
+  std::cout << "\n  patterns:";
+  for (const auto& [pattern, count] : summary.cases_per_pattern) {
+    std::cout << ' ' << pattern << '=' << count;
+  }
+  std::cout << "\n";
+  if (summary.clean()) {
+    std::cout << "no divergences: every driver configuration agreed with the "
+                 "exact solver on every case\n";
+    return 0;
+  }
+  std::filesystem::create_directories(out_dir);
+  for (const FuzzBug& bug : summary.bugs) {
+    const std::string name = "repro-seed" + std::to_string(options.seed) +
+                             "-case" + std::to_string(bug.case_index) +
+                             ".repro";
+    const std::filesystem::path path = std::filesystem::path(out_dir) / name;
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot write " << path.string() << "\n";
+      return 2;
+    }
+    out << "# minimized from case " << bug.case_index << " of seed "
+        << options.seed << " (" << bug.original.spec << ", "
+        << bug.original.faults.size() << " faults)\n";
+    out << "# divergence [" << bug.config << "] " << bug.detail << "\n";
+    write_repro(out, bug.minimized);
+    std::cerr << "DIVERGENCE at case " << bug.case_index << " ["
+              << bug.config << "] " << bug.detail << "\n";
+    std::cerr << "  minimized to " << bug.minimized.spec << " with "
+              << bug.minimized.faults.size() << " fault(s); repro written to "
+              << path.string() << "\n";
+  }
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -272,6 +419,7 @@ int main(int argc, char** argv) {
     if (command == "generate") return cmd_generate(args);
     if (command == "diagnose") return cmd_diagnose(args);
     if (command == "info") return cmd_info(args);
+    if (command == "fuzz") return cmd_fuzz(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 verify, exactly as ROADMAP.md specifies:
 #   cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
-# followed by a bench smoke: bench_batch on tiny instances must emit a
-# BENCH_batch.json that parses as JSON (skipped if google-benchmark was not
-# found and the bench targets were therefore never built).
+# followed by a bench smoke (bench_batch on tiny instances must emit a
+# BENCH_batch.json that parses as JSON; skipped if google-benchmark was not
+# found) and a fuzz smoke: 200 deterministic differential cases of the §5
+# driver against the exact solver. A fuzz divergence exits non-zero and
+# leaves minimized repro files in build/fuzz-repros/ (uploaded as a CI
+# artifact; check the repro into tests/corpus/ once the bug is fixed).
 #
 # Run from the repository root. Pass extra cmake arguments through, e.g.
 #   scripts/ci.sh -DMMDIAG_FORCE_BUNDLED_GTEST=ON
@@ -26,4 +29,20 @@ if [ -x bench/bench_batch ]; then
   fi
 else
   echo "bench smoke: bench_batch not built (google-benchmark missing), skipped"
+fi
+
+if [ -x examples/mmdiag_cli ]; then
+  # Fixed seed so the case stream is reproducible from the log alone;
+  # budgeted so a pathological slowdown cannot hang CI — but an exhausted
+  # budget means the smoke did NOT cover its cases, which must fail too.
+  ./examples/mmdiag_cli fuzz --cases 200 --seed 1 --max-bugs 3 \
+    --budget-seconds 120 --out-dir fuzz-repros | tee fuzz-smoke.log
+  if grep -q "budget exhausted" fuzz-smoke.log; then
+    echo "fuzz smoke: FAILED — budget exhausted before the case stream ran" \
+         "(differential cases have slowed down drastically)"
+    exit 1
+  fi
+  echo "fuzz smoke: clean"
+else
+  echo "fuzz smoke: mmdiag_cli not built (examples disabled), skipped"
 fi

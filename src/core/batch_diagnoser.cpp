@@ -22,6 +22,8 @@ BatchDiagnoser::BatchDiagnoser(const Topology& topology, const Graph& graph,
 BatchDiagnoser::BatchDiagnoser(const Graph& graph, CertifiedPartition partition,
                                BatchOptions options)
     : graph_(&graph), pool_(options.threads) {
+  // Conflicting options.diagnoser (rule mismatch, non-zero delta disagreeing
+  // with partition.delta) are rejected by the first per-lane Diagnoser ctor.
   lanes_.reserve(pool_.size());
   for (unsigned lane = 0; lane < pool_.size(); ++lane) {
     lanes_.push_back(

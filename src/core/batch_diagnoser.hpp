@@ -53,7 +53,10 @@ class BatchDiagnoser {
                  BatchOptions options = {});
 
   /// Adopts an already-certified partition (e.g. from a Diagnoser that is
-  /// also serving sequential traffic).
+  /// also serving sequential traffic). Throws std::invalid_argument when
+  /// options.diagnoser conflicts with the partition — a non-zero delta
+  /// disagreeing with partition.delta, or a rule differing from the
+  /// calibration rule (both enforced by the per-lane Diagnoser ctors).
   BatchDiagnoser(const Graph& graph, CertifiedPartition partition,
                  BatchOptions options = {});
 

@@ -60,6 +60,7 @@ CertifiedPartition find_certified_partition(const Topology& topology,
       CertifiedPartition cp;
       cp.plan = plan;
       cp.delta = delta;
+      cp.rule = rule;
       cp.calibration_lookups = oracle.lookups();
       cp.fully_validated = validate_all;
       return cp;

@@ -12,7 +12,10 @@
 // Because the diagnosis-time run on a genuinely fault-free component replays
 // the calibration run verbatim (all consulted tests are 0), calibration
 // success guarantees the driver terminates within δ+1 probes whenever
-// |F| <= δ.
+// |F| <= δ — but only when the diagnosis-time probes use the *same* parent
+// rule the calibration did. The partition therefore carries its calibration
+// inputs (rule, delta, validate_all) and consumers enforce the match instead
+// of trusting callers to keep them aligned.
 #pragma once
 
 #include <memory>
@@ -36,6 +39,7 @@ class DiagnosisUnsupportedError : public std::runtime_error {
 struct CertifiedPartition {
   std::shared_ptr<const PartitionPlan> plan;
   unsigned delta = 0;                    // fault bound the plan certifies
+  ParentRule rule = ParentRule::kSpread; // rule the plan was calibrated under
   std::uint64_t calibration_lookups = 0; // fault-free-oracle probes spent
   bool fully_validated = false;          // every component checked?
 };

@@ -41,6 +41,21 @@ Diagnoser::Diagnoser(const Graph& graph, CertifiedPartition partition,
   if (!partition_.plan) {
     throw std::invalid_argument("Diagnoser: certified partition has no plan");
   }
+  if (options_.rule != partition_.rule) {
+    // A fault-free component only certifies at diagnosis time because the
+    // probe replays the calibration run; a different rule grows a different
+    // tree and the replay argument collapses.
+    throw std::invalid_argument(
+        "Diagnoser: options.rule (" + to_string(options_.rule) +
+        ") does not match the partition's calibration rule (" +
+        to_string(partition_.rule) + ")");
+  }
+  if (options_.delta != 0 && options_.delta != partition_.delta) {
+    throw std::invalid_argument(
+        "Diagnoser: options.delta (" + std::to_string(options_.delta) +
+        ") conflicts with the adopted partition's certified bound (" +
+        std::to_string(partition_.delta) + "); pass 0 to adopt the bound");
+  }
   boundary_seen_.resize(graph.num_nodes());
 }
 

@@ -71,8 +71,10 @@ class Diagnoser {
   /// copied). This is the cheap constructor: calibration is the dominant
   /// setup cost, so BatchDiagnoser certifies once and builds one Diagnoser
   /// per worker lane from the same partition. `partition.delta` becomes the
-  /// fault bound; options.rule must match the rule the partition was
-  /// calibrated under or phase-1 probes may fail to replay the calibration.
+  /// fault bound. Throws std::invalid_argument when options.rule differs
+  /// from the rule the partition was calibrated under (mismatched probes
+  /// may fail to replay the calibration and mis-diagnose), or when a
+  /// non-zero options.delta conflicts with partition.delta.
   Diagnoser(const Graph& graph, CertifiedPartition partition,
             DiagnoserOptions options = {});
 

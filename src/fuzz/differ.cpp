@@ -1,0 +1,264 @@
+#include "fuzz/differ.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "baselines/exact_solver.hpp"
+#include "core/batch_diagnoser.hpp"
+#include "core/diagnoser.hpp"
+#include "core/verifier.hpp"
+#include "mm/fault_set.hpp"
+#include "mm/oracle.hpp"
+#include "topology/registry.hpp"
+
+namespace mmdiag {
+namespace {
+
+std::string join_nodes(const std::vector<Node>& nodes) {
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (i) os << ' ';
+    os << nodes[i];
+  }
+  os << '}';
+  return os.str();
+}
+
+/// Checks one driver result against the regime the case is in. `truth` is
+/// null in the beyond-delta regime (there is no promised answer there).
+void check_result(DiffReport& report, const std::string& config,
+                  const DiagnosisResult& result,
+                  const std::vector<Node>* truth, const FuzzCase& c) {
+  if (truth != nullptr) {
+    if (!result.success) {
+      report.divergences.push_back(
+          {config, "driver failed inside the promise (|F| = " +
+                       std::to_string(truth->size()) + " <= delta = " +
+                       std::to_string(c.delta) + "): " +
+                       result.failure_reason});
+      return;
+    }
+    if (result.faults != *truth) {
+      report.divergences.push_back(
+          {config, "driver returned " + join_nodes(result.faults) +
+                       " but the fault set is " + join_nodes(*truth)});
+    }
+    return;
+  }
+  // Beyond delta: failure is the expected graceful outcome. A success claim
+  // may be wrong out here (no sublinear-lookup algorithm can avoid that),
+  // but the boundary guard must still hold — claiming more than delta
+  // faults would be a driver bug in any regime.
+  if (result.success && result.faults.size() > c.delta) {
+    report.divergences.push_back(
+        {config, "beyond-delta success claims " +
+                     std::to_string(result.faults.size()) +
+                     " faults, more than delta = " + std::to_string(c.delta)});
+  }
+}
+
+/// Runs one sequential configuration, converting any escape into a
+/// divergence. Returns the result when the driver ran to completion.
+std::optional<DiagnosisResult> run_config(DiffReport& report,
+                                          const std::string& config,
+                                          const Graph& graph,
+                                          const CertifiedPartition& partition,
+                                          const DiagnoserOptions& options,
+                                          const FuzzCase& c,
+                                          const FaultSet& faults) {
+  try {
+    Diagnoser diagnoser(graph, partition, options);
+    const LazyOracle oracle(graph, faults, c.behavior, c.behavior_seed);
+    return diagnoser.diagnose(oracle);
+  } catch (const std::exception& e) {
+    report.divergences.push_back(
+        {config, std::string("driver threw: ") + e.what()});
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+const FuzzSetup& FuzzContext::setup(const std::string& spec, unsigned delta) {
+  const auto key = std::make_pair(spec, delta);
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  FuzzSetup s;
+  s.topology = make_topology_from_spec(spec);
+  s.graph = s.topology->build_graph();
+  s.spread = find_certified_partition(*s.topology, s.graph, delta,
+                                      ParentRule::kSpread, true);
+  try {
+    s.least_first = find_certified_partition(*s.topology, s.graph, delta,
+                                             ParentRule::kLeastFirst, true);
+  } catch (const DiagnosisUnsupportedError&) {
+    // kSpread certifies strictly more instances; run without this config.
+  }
+  return cache_.emplace(key, std::move(s)).first->second;
+}
+
+std::string to_string(Sabotage s) {
+  switch (s) {
+    case Sabotage::kNone:
+      return "none";
+    case Sabotage::kRuleMismatch:
+      return "rule-mismatch";
+    case Sabotage::kDropFault:
+      return "drop-fault";
+  }
+  return "?";
+}
+
+Sabotage sabotage_from_string(const std::string& name) {
+  for (const Sabotage s :
+       {Sabotage::kNone, Sabotage::kRuleMismatch, Sabotage::kDropFault}) {
+    if (name == to_string(s)) return s;
+  }
+  throw std::invalid_argument("unknown sabotage mode '" + name + "'");
+}
+
+DiffReport run_differential(FuzzContext& ctx, const FuzzCase& c,
+                            Sabotage sabotage) {
+  const FuzzSetup& s = ctx.setup(c.spec, c.delta);
+  const std::size_t n = s.graph.num_nodes();
+  for (const Node v : c.faults) {
+    if (v >= n) {
+      throw std::invalid_argument("fuzz case: fault id " + std::to_string(v) +
+                                  " out of range for " + c.spec);
+    }
+  }
+  const FaultSet faults(n, c.faults);
+
+  DiffReport report;
+  report.beyond_delta = faults.size() > c.delta;
+  const std::vector<Node>* truth =
+      report.beyond_delta ? nullptr : &faults.nodes();
+
+  // Ground truth: within the promise the syndrome must determine F
+  // uniquely, and the exact solver must find exactly it. A divergence here
+  // is a harness or diagnosability bug rather than a driver bug — worth
+  // surfacing just as loudly.
+  if (truth != nullptr) {
+    const LazyOracle oracle(s.graph, faults, c.behavior, c.behavior_seed);
+    try {
+      ExactSolver solver(s.graph, oracle, c.delta);
+      const DiagnosisResult exact = solver.diagnose();
+      if (!exact.success || exact.faults != *truth) {
+        report.divergences.push_back(
+            {"exact",
+             exact.success
+                 ? "exact solver returned " + join_nodes(exact.faults) +
+                       " for fault set " + join_nodes(*truth)
+                 : "exact solver found no unique solution: " +
+                       exact.failure_reason});
+      }
+    } catch (const std::exception& e) {
+      report.divergences.push_back(
+          {"exact", std::string("exact solver threw: ") + e.what()});
+    }
+  }
+
+  // Sequential configurations.
+  DiagnoserOptions spread_options;  // rule = kSpread, stop = false
+  const std::optional<DiagnosisResult> reference = run_config(
+      report, "seq-spread", s.graph, s.spread, spread_options, c, faults);
+  if (reference) {
+    check_result(report, "seq-spread", *reference, truth, c);
+  }
+
+  // The verifying wrapper owns the beyond-delta safety net: it must return
+  // F inside the promise exactly like the raw driver, and outside it every
+  // success it lets through must be consistent with the full syndrome.
+  try {
+    Diagnoser diagnoser(s.graph, s.spread, spread_options);
+    const LazyOracle oracle(s.graph, faults, c.behavior, c.behavior_seed);
+    const DiagnosisResult verified = diagnose_and_verify(diagnoser, oracle);
+    if (truth != nullptr) {
+      check_result(report, "seq-spread-verified", verified, truth, c);
+    } else if (verified.success) {
+      const FaultSet claimed(s.graph.num_nodes(), verified.faults);
+      const LazyOracle fresh(s.graph, faults, c.behavior, c.behavior_seed);
+      if (verified.faults.size() > c.delta ||
+          !syndrome_consistent(s.graph, fresh, claimed)) {
+        report.divergences.push_back(
+            {"seq-spread-verified",
+             "verified driver let an inconsistent beyond-delta success "
+             "through: " +
+                 join_nodes(verified.faults)});
+      }
+    }
+  } catch (const std::exception& e) {
+    report.divergences.push_back(
+        {"seq-spread-verified", std::string("driver threw: ") + e.what()});
+  }
+
+  DiagnoserOptions eager = spread_options;
+  eager.stop_probe_on_certify = true;
+  if (const auto r = run_config(report, "seq-spread-stopcert", s.graph,
+                                s.spread, eager, c, faults)) {
+    check_result(report, "seq-spread-stopcert", *r, truth, c);
+  }
+
+  if (s.least_first) {
+    DiagnoserOptions least;
+    least.rule = ParentRule::kLeastFirst;
+    if (const auto r = run_config(report, "seq-leastfirst", s.graph,
+                                  *s.least_first, least, c, faults)) {
+      check_result(report, "seq-leastfirst", *r, truth, c);
+    }
+  }
+
+  // Batch: the same case over 3 worker lanes must be bit-identical to the
+  // sequential reference in every accounted dimension.
+  if (reference) {
+    try {
+      BatchOptions batch_options;
+      batch_options.threads = 3;
+      batch_options.diagnoser = spread_options;
+      BatchDiagnoser engine(s.graph, s.spread, batch_options);
+      const LazyOracle o0(s.graph, faults, c.behavior, c.behavior_seed);
+      const LazyOracle o1(s.graph, faults, c.behavior, c.behavior_seed);
+      const LazyOracle o2(s.graph, faults, c.behavior, c.behavior_seed);
+      const BatchResult batch = engine.diagnose_all({&o0, &o1, &o2});
+      for (std::size_t i = 0; i < batch.results.size(); ++i) {
+        const DiagnosisResult& r = batch.results[i];
+        if (r.success != reference->success || r.faults != reference->faults ||
+            r.lookups != reference->lookups || r.probes != reference->probes ||
+            r.certified_component != reference->certified_component) {
+          report.divergences.push_back(
+              {"batch-3lane",
+               "lane result " + std::to_string(i) +
+                   " not bit-identical to the sequential run (faults " +
+                   join_nodes(r.faults) + " vs " +
+                   join_nodes(reference->faults) + ")"});
+          break;
+        }
+      }
+    } catch (const std::exception& e) {
+      report.divergences.push_back(
+          {"batch-3lane", std::string("batch engine threw: ") + e.what()});
+    }
+  }
+
+  // Deliberate breakage, for testing the fuzzer itself.
+  if (sabotage == Sabotage::kRuleMismatch) {
+    DiagnoserOptions mismatched;
+    mismatched.rule = ParentRule::kLeastFirst;  // partition calibrated kSpread
+    if (const auto r = run_config(report, "sabotage-rule-mismatch", s.graph,
+                                  s.spread, mismatched, c, faults)) {
+      check_result(report, "sabotage-rule-mismatch", *r, truth, c);
+    }
+  } else if (sabotage == Sabotage::kDropFault && reference) {
+    DiagnosisResult tampered = *reference;
+    if (tampered.success && !tampered.faults.empty()) {
+      tampered.faults.pop_back();
+      check_result(report, "sabotage-drop-fault", tampered, truth, c);
+    }
+  }
+
+  return report;
+}
+
+}  // namespace mmdiag

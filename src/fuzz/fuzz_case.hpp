@@ -1,0 +1,89 @@
+// Differential-fuzz cases and their replayable serialisation.
+//
+// A FuzzCase pins everything that determines a diagnosis instance: the
+// topology spec, the fault bound the driver runs at, the concrete fault
+// list, and the faulty-tester behaviour plus its seed. The injection
+// pattern and injection seed are provenance: they record *how* the faults
+// were drawn (and let the minimizer re-draw them on a smaller instance),
+// but a repro file replays from the explicit fault list alone, so a
+// checked-in repro keeps reproducing even if case generation changes.
+//
+// The catalog lists, per topology family, the instances the fuzzer draws
+// from — smallest first, so the minimizer can walk down the ladder. Every
+// entry is small enough for ExactSolver to answer in well under a
+// millisecond and certifies under BOTH probe parent rules (kSpread and
+// kLeastFirst), which the differ exercises; fuzz_test asserts both
+// properties so the catalog cannot rot silently.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "mm/behavior.hpp"
+#include "util/types.hpp"
+
+namespace mmdiag {
+
+enum class InjectionPattern : std::uint8_t {
+  kUniform,    // faults spread independently over V
+  kSurround,   // a subset of one node's neighbourhood
+  kClustered,  // a BFS ball around a centre
+  kTargeted,   // faults confined to one or two partition components
+};
+
+[[nodiscard]] std::string to_string(InjectionPattern pattern);
+
+/// Inverse of to_string; throws std::invalid_argument on unknown names.
+[[nodiscard]] InjectionPattern injection_pattern_from_string(
+    const std::string& name);
+
+inline constexpr InjectionPattern kAllInjectionPatterns[] = {
+    InjectionPattern::kUniform, InjectionPattern::kSurround,
+    InjectionPattern::kClustered, InjectionPattern::kTargeted};
+
+struct FuzzCatalogEntry {
+  std::string spec;    // registry spec, e.g. "hypercube 5"
+  unsigned delta;      // fault bound the fuzzer certifies and runs at
+};
+
+struct FuzzFamilyLadder {
+  std::string family;                    // registry family key
+  std::vector<FuzzCatalogEntry> sizes;   // ascending node count
+};
+
+/// The instances the fuzzer draws cases from (see header comment).
+[[nodiscard]] const std::vector<FuzzFamilyLadder>& fuzz_catalog();
+
+struct FuzzCase {
+  std::string spec;
+  unsigned delta = 0;
+  InjectionPattern pattern = InjectionPattern::kUniform;
+  std::uint64_t inject_seed = 0;   // provenance: rng stream the faults came from
+  FaultyBehavior behavior = FaultyBehavior::kRandom;
+  std::uint64_t behavior_seed = 0; // seeds the faulty testers' answers
+  std::vector<Node> faults;        // sorted ascending; the replayed ground truth
+};
+
+// Repro files (line oriented, '#' comments allowed):
+//
+//   mmdiag-repro v1
+//   spec hypercube 5
+//   delta 3
+//   pattern uniform
+//   inject-seed 17
+//   behavior anti-diagnostic
+//   behavior-seed 99
+//   faults 3 17 21
+//   end
+//
+// `faults` with no ids pins the fault-free case.
+void write_repro(std::ostream& os, const FuzzCase& c);
+
+/// Throws std::runtime_error with a line-numbered message on malformed
+/// input. Fault ids are validated against the spec's node count by the
+/// differ (which is what materialises the graph), not here.
+[[nodiscard]] FuzzCase read_repro(std::istream& is);
+
+}  // namespace mmdiag

@@ -1,0 +1,198 @@
+#include "fuzz/fuzzer.hpp"
+
+#include <algorithm>
+#include <iterator>
+
+#include "mm/injector.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace mmdiag {
+namespace {
+
+std::string family_of(const std::string& spec) {
+  const auto space = spec.find(' ');
+  return space == std::string::npos ? spec : spec.substr(0, space);
+}
+
+/// Draw `count` faults on `setup` with the given pattern, deterministically
+/// from `inject_seed`. The count is capped by what the pattern can supply
+/// (neighbourhood size, component pool), so the caller's requested count is
+/// an upper bound, not a promise.
+std::vector<Node> materialize_faults(const FuzzSetup& setup,
+                                     InjectionPattern pattern,
+                                     std::uint64_t inject_seed,
+                                     std::size_t count) {
+  const Graph& g = setup.graph;
+  const std::size_t n = g.num_nodes();
+  Rng rng(inject_seed);
+  count = std::min(count, n);
+  std::vector<Node> faults;
+  switch (pattern) {
+    case InjectionPattern::kUniform:
+      faults = inject_uniform(n, count, rng);
+      break;
+    case InjectionPattern::kSurround: {
+      const Node centre = static_cast<Node>(rng.below(n));
+      faults = inject_surround(g, centre);
+      if (count < faults.size()) {
+        // Uniform subset of the neighbourhood (partial Fisher-Yates).
+        for (std::size_t i = 0; i < count; ++i) {
+          const std::size_t j = i + rng.below(faults.size() - i);
+          std::swap(faults[i], faults[j]);
+        }
+        faults.resize(count);
+      }
+      break;
+    }
+    case InjectionPattern::kClustered: {
+      const Node centre = static_cast<Node>(rng.below(n));
+      faults = inject_clustered(g, centre, count);
+      break;
+    }
+    case InjectionPattern::kTargeted: {
+      const PartitionPlan& plan = *setup.spread.plan;
+      const std::size_t ncomp = plan.num_components();
+      const std::uint32_t a = static_cast<std::uint32_t>(rng.below(ncomp));
+      const std::uint32_t b = static_cast<std::uint32_t>(rng.below(ncomp));
+      const auto in_target = [&](Node v) {
+        const std::uint32_t comp = plan.component_of(v);
+        return comp == a || comp == b;
+      };
+      std::size_t pool = 0;
+      for (Node v = 0; v < n; ++v) pool += in_target(v) ? 1 : 0;
+      faults = inject_where(n, std::min(count, pool), in_target, rng);
+      break;
+    }
+  }
+  std::sort(faults.begin(), faults.end());
+  return faults;
+}
+
+}  // namespace
+
+FuzzCase Fuzzer::generate(std::uint64_t index) {
+  Rng rng(mix64(options_.seed, index));
+  const auto& catalog = fuzz_catalog();
+  const FuzzFamilyLadder& family = catalog[rng.below(catalog.size())];
+  const FuzzCatalogEntry& entry =
+      family.sizes[rng.below(family.sizes.size())];
+  const FuzzSetup& setup = ctx_.setup(entry.spec, entry.delta);
+
+  FuzzCase c;
+  c.spec = entry.spec;
+  c.delta = entry.delta;
+  c.pattern = kAllInjectionPatterns[rng.below(std::size(kAllInjectionPatterns))];
+  c.behavior = kAllFaultyBehaviors[rng.below(std::size(kAllFaultyBehaviors))];
+  // One case in eight leaves the promised regime: the driver must then fail
+  // gracefully rather than fabricate an answer.
+  const bool beyond = rng.below(8) == 0;
+  const std::size_t count =
+      beyond ? entry.delta + 1 + rng.below(entry.delta + 1)
+             : rng.below(entry.delta + 1);
+  c.inject_seed = rng();
+  c.behavior_seed = rng();
+  c.faults = materialize_faults(setup, c.pattern, c.inject_seed, count);
+  return c;
+}
+
+bool Fuzzer::diverges(const FuzzCase& c) {
+  try {
+    return run_differential(ctx_, c, options_.sabotage).diverged();
+  } catch (const std::exception&) {
+    // A candidate the differ cannot even set up (e.g. a ladder entry whose
+    // injection failed) is not a divergence.
+    return false;
+  }
+}
+
+FuzzCase Fuzzer::minimize(FuzzCase current) {
+  if (!diverges(current)) return current;
+
+  // Phase 1: walk down the family ladder, smallest instance first,
+  // re-drawing the fault set from the case's recorded injection stream. A
+  // smaller instance that still diverges is a strictly better repro.
+  const std::string family = family_of(current.spec);
+  const std::size_t current_nodes =
+      ctx_.setup(current.spec, current.delta).graph.num_nodes();
+  for (const FuzzFamilyLadder& ladder : fuzz_catalog()) {
+    if (ladder.family != family) continue;
+    for (const FuzzCatalogEntry& entry : ladder.sizes) {
+      if (entry.spec == current.spec) continue;
+      try {
+        const FuzzSetup& setup = ctx_.setup(entry.spec, entry.delta);
+        if (setup.graph.num_nodes() >= current_nodes) continue;
+        FuzzCase candidate = current;
+        candidate.spec = entry.spec;
+        candidate.delta = entry.delta;
+        candidate.faults =
+            materialize_faults(setup, candidate.pattern, candidate.inject_seed,
+                               current.faults.size());
+        if (diverges(candidate)) {
+          current = std::move(candidate);
+          break;
+        }
+      } catch (const std::exception&) {
+        continue;  // entry cannot host this case; keep walking
+      }
+    }
+    break;
+  }
+
+  // Phase 2: greedily drop faults to a local fixpoint. Every accepted
+  // candidate re-ran the full differ, so the invariant "current diverges"
+  // holds throughout.
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (std::size_t i = 0; i < current.faults.size(); ++i) {
+      FuzzCase candidate = current;
+      candidate.faults.erase(candidate.faults.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+      if (diverges(candidate)) {
+        current = std::move(candidate);
+        improved = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+FuzzSummary Fuzzer::run() {
+  FuzzSummary summary;
+  Timer timer;
+  for (std::uint64_t i = 0; i < options_.cases; ++i) {
+    if (options_.budget_seconds > 0 &&
+        timer.seconds() > options_.budget_seconds) {
+      summary.budget_exhausted = true;
+      break;
+    }
+    const FuzzCase c = generate(i);
+    ++summary.cases_run;
+    ++summary.cases_per_family[family_of(c.spec)];
+    ++summary.cases_per_pattern[to_string(c.pattern)];
+    const DiffReport report = run_differential(ctx_, c, options_.sabotage);
+    summary.beyond_delta_cases += report.beyond_delta ? 1 : 0;
+    if (!report.diverged()) continue;
+
+    FuzzBug bug;
+    bug.case_index = i;
+    bug.original = c;
+    bug.minimized = minimize(c);
+    const DiffReport minimized_report =
+        run_differential(ctx_, bug.minimized, options_.sabotage);
+    const Divergence& first = minimized_report.diverged()
+                                  ? minimized_report.divergences.front()
+                                  : report.divergences.front();
+    bug.config = first.config;
+    bug.detail = first.detail;
+    summary.bugs.push_back(std::move(bug));
+    if (options_.max_bugs != 0 && summary.bugs.size() >= options_.max_bugs) {
+      break;
+    }
+  }
+  return summary;
+}
+
+}  // namespace mmdiag

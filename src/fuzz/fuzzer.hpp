@@ -1,0 +1,78 @@
+// The differential fuzzing loop: generate -> diff -> shrink -> report.
+//
+// Case `index` of a run is a pure function of (options.seed, index) — the
+// stream never depends on what earlier cases did, so a run is replayable
+// from its seed alone, a crash loses nothing, and CI failures quote an
+// index that reproduces locally. Divergences are shrunk by a greedy
+// delta-debugging minimizer before being reported: first the topology is
+// walked down the family's catalog ladder (re-drawing the faults with the
+// case's recorded injection stream), then faults are dropped one at a time
+// to a local fixpoint — every intermediate candidate is re-checked through
+// the full differ, so a minimized case is always itself a divergence.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fuzz/differ.hpp"
+#include "fuzz/fuzz_case.hpp"
+
+namespace mmdiag {
+
+struct FuzzOptions {
+  std::uint64_t cases = 500;
+  std::uint64_t seed = 1;
+  Sabotage sabotage = Sabotage::kNone;
+  /// Stop after this many minimized bugs (each costs a minimization run);
+  /// 0 = keep going through the whole case stream.
+  std::size_t max_bugs = 1;
+  /// Wall-clock budget for the whole run; 0 = unlimited. Checked between
+  /// cases, so the stream prefix that did run is still deterministic.
+  double budget_seconds = 0;
+};
+
+struct FuzzBug {
+  std::uint64_t case_index = 0;
+  FuzzCase original;
+  FuzzCase minimized;
+  std::string config;  // first diverging configuration of the minimized case
+  std::string detail;
+};
+
+struct FuzzSummary {
+  std::uint64_t cases_run = 0;
+  std::uint64_t beyond_delta_cases = 0;
+  std::map<std::string, std::uint64_t> cases_per_family;
+  std::map<std::string, std::uint64_t> cases_per_pattern;
+  std::vector<FuzzBug> bugs;
+  bool budget_exhausted = false;
+  [[nodiscard]] bool clean() const noexcept { return bugs.empty(); }
+};
+
+class Fuzzer {
+ public:
+  explicit Fuzzer(FuzzOptions options) : options_(options) {}
+
+  /// The deterministic case stream (see header comment).
+  [[nodiscard]] FuzzCase generate(std::uint64_t index);
+
+  /// Run the loop over [0, options.cases).
+  [[nodiscard]] FuzzSummary run();
+
+  /// Shrink a diverging case (no-op on non-diverging input). Public so a
+  /// replayed repro can be re-minimized after harness changes.
+  [[nodiscard]] FuzzCase minimize(FuzzCase current);
+
+  [[nodiscard]] FuzzContext& context() noexcept { return ctx_; }
+  [[nodiscard]] const FuzzOptions& options() const noexcept { return options_; }
+
+ private:
+  [[nodiscard]] bool diverges(const FuzzCase& c);
+
+  FuzzOptions options_;
+  FuzzContext ctx_;
+};
+
+}  // namespace mmdiag

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "topology/registry.hpp"
+#include "util/parse.hpp"
 
 namespace mmdiag {
 namespace {
@@ -127,20 +128,18 @@ std::vector<Node> read_node_list(std::istream& is) {
     std::istringstream ls(line);
     std::string token;
     while (ls >> token) {
-      std::uint64_t value = 0;
-      const char* const first = token.data();
-      const char* const last = first + token.size();
-      // from_chars accepts exactly the digit strings write_node_list emits;
-      // anything else ("xyz", "-3", "1e3", partial parses like "17x") throws
-      // instead of being silently dropped the way `is >> v` used to stop.
-      const auto [ptr, ec] = std::from_chars(first, last, value);
-      if (ec != std::errc{} || ptr != last) {
+      // parse_unsigned accepts exactly the digit strings write_node_list
+      // emits; anything else ("xyz", "-3", "1e3", partial parses like
+      // "17x") throws instead of being silently dropped the way `is >> v`
+      // used to stop. The range check stays separate for its own message.
+      const auto value = parse_unsigned(token);
+      if (!value) {
         fail_list(lineno, "expected a node id, got '" + token + "'");
       }
-      if (value > std::numeric_limits<Node>::max()) {
+      if (*value > std::numeric_limits<Node>::max()) {
         fail_list(lineno, "node id " + token + " out of range");
       }
-      out.push_back(static_cast<Node>(value));
+      out.push_back(static_cast<Node>(*value));
     }
   }
   return out;

@@ -1,6 +1,7 @@
 #include "mm/behavior.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "util/rng.hpp"
 
@@ -18,6 +19,16 @@ std::string to_string(FaultyBehavior b) {
       return "anti-diagnostic";
   }
   return "?";
+}
+
+FaultyBehavior behavior_from_string(const std::string& name) {
+  if (name == "random") return FaultyBehavior::kRandom;
+  if (name == "all-zero") return FaultyBehavior::kAllZero;
+  if (name == "all-one") return FaultyBehavior::kAllOne;
+  if (name == "anti-diagnostic" || name == "anti") {
+    return FaultyBehavior::kAntiDiagnostic;
+  }
+  throw std::invalid_argument("unknown faulty behaviour '" + name + "'");
 }
 
 bool faulty_test_result(FaultyBehavior behavior, std::uint64_t seed, Node u,

@@ -23,6 +23,10 @@ enum class FaultyBehavior : std::uint8_t {
 
 [[nodiscard]] std::string to_string(FaultyBehavior b);
 
+/// Inverse of to_string (also accepts the CLI shorthand "anti").
+/// Throws std::invalid_argument on unknown names.
+[[nodiscard]] FaultyBehavior behavior_from_string(const std::string& name);
+
 inline constexpr FaultyBehavior kAllFaultyBehaviors[] = {
     FaultyBehavior::kRandom, FaultyBehavior::kAllZero, FaultyBehavior::kAllOne,
     FaultyBehavior::kAntiDiagnostic};

@@ -34,6 +34,7 @@ std::vector<Node> inject_surround(const Graph& g, Node center) {
 std::vector<Node> inject_clustered(const Graph& g, Node center,
                                    std::size_t count) {
   if (count > g.num_nodes()) throw std::invalid_argument("more faults than nodes");
+  if (count == 0) return {};  // the ball of 0 nodes excludes even the centre
   StampSet visited(g.num_nodes());
   std::vector<Node> queue{center};
   visited.insert(center);

@@ -26,7 +26,9 @@ namespace mmdiag {
 /// All neighbours of `center` (center itself stays healthy).
 [[nodiscard]] std::vector<Node> inject_surround(const Graph& g, Node center);
 
-/// `count` nodes nearest to `center` in BFS order (including center).
+/// `count` nodes nearest to `center` in BFS order (including center; count 0
+/// yields the empty set). Throws if the component around `center` has fewer
+/// than `count` nodes.
 [[nodiscard]] std::vector<Node> inject_clustered(const Graph& g, Node center,
                                                  std::size_t count);
 

@@ -1,0 +1,29 @@
+// Strict text-to-integer parsing shared by the CLI and file parsers.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string_view>
+
+namespace mmdiag {
+
+/// The whole token must be a decimal unsigned integer within
+/// [0, max_value]. Anything else — empty, signs, trailing junk ("12junk"),
+/// overflow — yields nullopt, so callers turn bad input into their own
+/// diagnostics instead of uncaught std::stoul exceptions or silent wraps.
+[[nodiscard]] inline std::optional<std::uint64_t> parse_unsigned(
+    std::string_view token,
+    std::uint64_t max_value = std::numeric_limits<std::uint64_t>::max()) {
+  std::uint64_t value = 0;
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (token.empty() || ec != std::errc{} || ptr != end || value > max_value) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+}  // namespace mmdiag

@@ -249,6 +249,30 @@ TEST(BatchDiagnoser, FailedItemsKeepTheirCostAndDoNotPoisonTheBatch) {
   }
 }
 
+TEST(BatchDiagnoser, AdoptingPathRejectsConflictingDelta) {
+  // A non-zero options.diagnoser.delta that disagrees with the adopted
+  // partition's certified bound used to be silently ignored; it now throws
+  // before any lane is built.
+  test::Instance inst("hypercube 7");
+  Diagnoser sequential(*inst.topo, inst.graph);  // certifies delta = 7
+  BatchOptions conflicting;
+  conflicting.diagnoser.delta = 3;
+  EXPECT_THROW(BatchDiagnoser(inst.graph, sequential.partition(), conflicting),
+               std::invalid_argument);
+  BatchOptions agreeing;
+  agreeing.diagnoser.delta = 7;
+  EXPECT_NO_THROW(BatchDiagnoser(inst.graph, sequential.partition(), agreeing));
+}
+
+TEST(BatchDiagnoser, AdoptingPathRejectsMismatchedRule) {
+  test::Instance inst("hypercube 7");
+  Diagnoser sequential(*inst.topo, inst.graph);  // calibrated under kSpread
+  BatchOptions mismatched;
+  mismatched.diagnoser.rule = ParentRule::kLeastFirst;
+  EXPECT_THROW(BatchDiagnoser(inst.graph, sequential.partition(), mismatched),
+               std::invalid_argument);
+}
+
 TEST(BatchDiagnoser, NullOracleRejected) {
   test::Instance inst("hypercube 7");
   BatchDiagnoser engine(*inst.topo, inst.graph);

@@ -154,6 +154,34 @@ TEST_F(HypercubeDiagnosis, SmallerDeltaOverrideIsHonoured) {
   EXPECT_LE(result.probes, 4u);
 }
 
+TEST(DiagnoserAdoption, MismatchedParentRuleIsRejected) {
+  // The partition records the rule it was calibrated under; adopting it
+  // with a different probe rule used to be silent misuse (the probes could
+  // fail to replay the calibration) and must now throw.
+  test::Instance inst("hypercube 7");
+  Diagnoser calibrated(*inst.topo, inst.graph);  // rule = kSpread
+  EXPECT_EQ(calibrated.partition().rule, ParentRule::kSpread);
+  DiagnoserOptions mismatched;
+  mismatched.rule = ParentRule::kLeastFirst;
+  EXPECT_THROW(Diagnoser(inst.graph, calibrated.partition(), mismatched),
+               std::invalid_argument);
+  // The matching rule still adopts fine.
+  EXPECT_NO_THROW(Diagnoser(inst.graph, calibrated.partition(), {}));
+}
+
+TEST(DiagnoserAdoption, ConflictingDeltaIsRejected) {
+  test::Instance inst("hypercube 7");
+  Diagnoser calibrated(*inst.topo, inst.graph);  // delta = 7
+  DiagnoserOptions conflicting;
+  conflicting.delta = 5;
+  EXPECT_THROW(Diagnoser(inst.graph, calibrated.partition(), conflicting),
+               std::invalid_argument);
+  // delta == 0 means "adopt the partition's bound", delta == bound agrees.
+  DiagnoserOptions agreeing;
+  agreeing.delta = 7;
+  EXPECT_NO_THROW(Diagnoser(inst.graph, calibrated.partition(), agreeing));
+}
+
 TEST(DiagnoserLookups, Section6BoundHolds) {
   test::Instance inst("hypercube 10");
   Diagnoser diagnoser(*inst.topo, inst.graph);

@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "graph/builder.hpp"
 #include "mm/injector.hpp"
 #include "test_util.hpp"
 #include "util/rng.hpp"
@@ -52,6 +53,52 @@ TEST(InjectClustered, BfsBall) {
   // Centre plus its four neighbours.
   EXPECT_EQ(test::sorted(f), (std::vector<Node>{0, 1, 2, 4, 8}));
   EXPECT_THROW((void)inject_clustered(inst.graph, 0, 17), std::invalid_argument);
+}
+
+TEST(InjectUniform, WholeNodeSetAndNothing) {
+  // The boundary counts the fuzzer draws: count == num_nodes must be a
+  // permutation of V, count == 0 the empty set — for any seed.
+  for (const std::uint64_t seed : {1ull, 7ull, 99ull}) {
+    Rng rng(seed);
+    const auto all = inject_uniform(64, 64, rng);
+    EXPECT_EQ(all.size(), 64u);
+    EXPECT_EQ(std::set<Node>(all.begin(), all.end()).size(), 64u);
+    EXPECT_TRUE(inject_uniform(64, 0, rng).empty());
+  }
+}
+
+TEST(InjectClustered, BallCoveringTheWholeGraph) {
+  test::Instance inst("hypercube 4");
+  const auto everything = inject_clustered(inst.graph, 3, 16);
+  std::vector<Node> expected(16);
+  for (Node v = 0; v < 16; ++v) expected[v] = v;
+  EXPECT_EQ(test::sorted(everything), expected);
+}
+
+TEST(InjectClustered, ZeroCountExcludesEvenTheCentre) {
+  test::Instance inst("hypercube 4");
+  EXPECT_TRUE(inject_clustered(inst.graph, 0, 0).empty());
+}
+
+TEST(InjectClustered, BallStopsAtItsComponent) {
+  // Two disjoint triangles: the ball around node 0 is its whole component
+  // at count 3, and no count can cross into the other component.
+  const Graph g = build_graph_from_edges(
+      6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}});
+  EXPECT_EQ(test::sorted(inject_clustered(g, 0, 3)),
+            (std::vector<Node>{0, 1, 2}));
+  EXPECT_THROW((void)inject_clustered(g, 0, 4), std::invalid_argument);
+}
+
+TEST(InjectWhere, ExactPoolSizeBoundary) {
+  // Predicate admits exactly `count` nodes: the sample must be the whole
+  // pool (in some order); one more is a clean throw.
+  Rng rng(11);
+  const auto pool = inject_where(40, 4, [](Node v) { return v % 10 == 0; }, rng);
+  EXPECT_EQ(test::sorted(pool), (std::vector<Node>{0, 10, 20, 30}));
+  EXPECT_THROW(
+      (void)inject_where(40, 5, [](Node v) { return v % 10 == 0; }, rng),
+      std::invalid_argument);
 }
 
 TEST(InjectWhere, RespectsPredicate) {
