@@ -118,10 +118,11 @@ int run(bool smoke, const std::string& out_path, unsigned max_threads) {
 
     double one_thread_rate = 0;
     for (const unsigned threads : thread_counts) {
-      BatchOptions options;
-      options.threads = threads;
-      BatchDiagnoser engine(*inst.topo, inst.graph, options);
-      const BatchResult result = engine.diagnose_all(batch.ptrs);
+      // Engine-routed: the batch engine adopts the same cached calibration
+      // the sequential baseline runs on.
+      const auto batch_engine =
+          engine().make_batch_diagnoser(config.spec, threads);
+      const BatchResult result = batch_engine->diagnose_all(batch.ptrs);
 
       const bool same = identical(truth, result.results);
       all_identical = all_identical && same;
@@ -136,7 +137,7 @@ int run(bool smoke, const std::string& out_path, unsigned max_threads) {
           {"topology", JsonValue::str(config.spec)},
           {"family", JsonValue::str(inst.topo->info().family)},
           {"nodes", JsonValue::num(inst.graph.num_nodes())},
-          {"delta", JsonValue::num(engine.delta())},
+          {"delta", JsonValue::num(batch_engine->delta())},
           {"syndromes", JsonValue::num(result.results.size())},
           {"threads", JsonValue::num(threads)},
           {"seconds", JsonValue::num(result.seconds)},

@@ -6,17 +6,28 @@
 //       to F.truth). behaviours: random | all-zero | all-one | anti.
 //
 //   mmdiag_cli diagnose <file> [--verify]
-//       Load a syndrome file, run the paper's diagnosis, print the fault
-//       ids (and check full-syndrome consistency with --verify).
+//       Load a syndrome file, run the paper's diagnosis through the
+//       DiagnosisEngine, print the fault ids and the setup/solve split
+//       (and check full-syndrome consistency with --verify).
 //
 //   mmdiag_cli diagnose --batch <dir> [--threads N]
 //       Load every syndrome file in <dir> (anything not ending in .truth),
-//       group the files by topology spec, and diagnose each group in
-//       parallel with BatchDiagnoser — the certified partition is built
-//       once per topology and shared by all N worker threads.
+//       group the files by canonical topology spec, and diagnose each group
+//       in parallel with an engine-backed BatchDiagnoser — the certified
+//       partition is built once per topology and shared by all N worker
+//       threads.
 //
-//   mmdiag_cli info <spec...>
-//       Print the topology's constants and its certified partition.
+//   mmdiag_cli serve --requests <file> [--threads N] [--cache-capacity C]
+//       Mixed-spec request-stream mode: <file> lists one syndrome-file
+//       path per line ('#' comments allowed; relative paths resolve
+//       against the list's directory). Every request flows through one
+//       DiagnosisEngine whose LRU calibration cache owns the per-topology
+//       setup, so repeated specs pay it once; per-request cold/warm setup
+//       cost and cache counters are reported.
+//
+//   mmdiag_cli info <spec...> [--rule R]
+//       Print the topology's constants and its certified partition under
+//       probe rule R (least-first | spread | least-sync | hash-spread).
 //
 //   mmdiag_cli fuzz [--cases N] [--seed S] [--out-dir DIR] ...
 //   mmdiag_cli fuzz --replay FILE
@@ -40,6 +51,7 @@
 #include "core/certified_partition.hpp"
 #include "core/diagnoser.hpp"
 #include "core/verifier.hpp"
+#include "engine/engine.hpp"
 #include "fuzz/fuzzer.hpp"
 #include "io/syndrome_io.hpp"
 #include "mm/injector.hpp"
@@ -59,7 +71,10 @@ int usage() {
                "[--behavior random|all-zero|all-one|anti] -o FILE\n"
             << "  mmdiag_cli diagnose FILE [--verify]\n"
             << "  mmdiag_cli diagnose --batch DIR [--threads N]\n"
-            << "  mmdiag_cli info <spec...>\n"
+            << "  mmdiag_cli serve --requests FILE [--threads N] "
+               "[--cache-capacity C]\n"
+            << "  mmdiag_cli info <spec...> "
+               "[--rule least-first|spread|least-sync|hash-spread]\n"
             << "  mmdiag_cli fuzz [--cases N] [--seed S] [--out-dir DIR] "
                "[--max-bugs K] [--budget-seconds T]\n"
             << "             [--sabotage none|rule-mismatch|drop-fault]\n"
@@ -140,6 +155,47 @@ int cmd_generate(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// A resolver over the engine's calibration cache that also pins every
+/// resolved bundle: oracles built over these graphs must outlive the LRU's
+/// eviction decisions, and the pin map guarantees they do.
+class PinnedResolver {
+ public:
+  explicit PinnedResolver(DiagnosisEngine& engine) : engine_(&engine) {}
+
+  const Graph& operator()(const std::string& spec) {
+    std::shared_ptr<const Calibration> cal = engine_->calibration(spec);
+    const Graph& graph = cal->graph;
+    canonical_[spec] = cal->spec;
+    // keep_alive_ retains *every* resolved bundle, not just the latest per
+    // spec: if the LRU evicts and rebuilds a spec mid-ingest, oracles built
+    // over the older bundle's graph must stay valid for the whole run.
+    keep_alive_.push_back(cal);
+    pinned_[cal->spec] = std::move(cal);
+    return graph;
+  }
+
+  /// Canonical spec of a raw spec (a map lookup once resolved).
+  [[nodiscard]] std::string canonical(const std::string& spec) const {
+    const auto it = canonical_.find(spec);
+    return it != canonical_.end() ? it->second : canonical_topology_spec(spec);
+  }
+
+  /// The pinned bundle for a canonical spec; null if never resolved. Lets
+  /// callers reuse a calibration the LRU may since have evicted without
+  /// rebuilding it.
+  [[nodiscard]] std::shared_ptr<const Calibration> pinned(
+      const std::string& canonical_spec) const {
+    const auto it = pinned_.find(canonical_spec);
+    return it != pinned_.end() ? it->second : nullptr;
+  }
+
+ private:
+  DiagnosisEngine* engine_;
+  std::map<std::string, std::string> canonical_;  // raw -> canonical
+  std::map<std::string, std::shared_ptr<const Calibration>> pinned_;
+  std::vector<std::shared_ptr<const Calibration>> keep_alive_;
+};
+
 int cmd_diagnose_batch(const std::string& dir, unsigned threads) {
   namespace fs = std::filesystem;
   if (!fs::is_directory(dir)) {
@@ -161,10 +217,16 @@ int cmd_diagnose_batch(const std::string& dir, unsigned threads) {
     return 2;
   }
 
-  // One BatchDiagnoser per topology spec: the partition and graph are the
-  // shared per-topology setup, the syndromes are the per-item work.
+  // The engine owns the per-topology setup; syndromes are parsed directly
+  // against its cached graphs (no per-file topology+graph build), grouped
+  // by canonical spec, and each group fans out over one BatchDiagnoser.
+  EngineOptions engine_options;
+  engine_options.threads = 1;  // BatchDiagnoser brings its own pool
+  DiagnosisEngine engine(engine_options);
+  PinnedResolver resolve(engine);
+
   std::map<std::string, std::vector<std::size_t>> by_spec;
-  std::vector<LoadedSyndrome> loaded;
+  std::vector<ParsedSyndrome> loaded;
   loaded.reserve(files.size());
   for (std::size_t i = 0; i < files.size(); ++i) {
     std::ifstream in(files[i]);
@@ -173,37 +235,44 @@ int cmd_diagnose_batch(const std::string& dir, unsigned threads) {
       return 2;
     }
     try {
-      loaded.push_back(read_syndrome(in));
+      loaded.push_back(read_syndrome(in, std::ref(resolve)));
+      by_spec[resolve.canonical(loaded.back().spec)].push_back(i);
     } catch (const std::exception& e) {
       std::cerr << files[i].string() << ": " << e.what() << "\n";
       return 2;
     }
-    by_spec[loaded.back().spec].push_back(i);
   }
 
   int exit_code = 0;
   std::size_t total_ok = 0;
   Timer timer;
   for (const auto& [spec, indices] : by_spec) {
-    const LoadedSyndrome& first = loaded[indices.front()];
-    BatchOptions options;
-    options.threads = threads;
-    BatchDiagnoser engine(*first.topology, first.graph, options);
+    // Reuse the ingest-pinned bundle directly: with more distinct specs
+    // than cache capacity, asking the engine again would rebuild evicted
+    // calibrations for no reason.
+    const std::shared_ptr<const Calibration> cal = resolve.pinned(spec);
+    if (!cal) {
+      std::cerr << "internal error: no calibration pinned for " << spec
+                << "\n";
+      return 2;
+    }
+    BatchOptions batch_options;
+    batch_options.threads = threads;
+    const auto batch_engine = std::make_unique<BatchDiagnoser>(
+        graph_handle(cal), cal->partition, batch_options);
 
     std::vector<TableOracle> oracles;
     oracles.reserve(indices.size());
     for (const std::size_t i : indices) {
-      // All graphs of one spec are the same deterministic build, so the
-      // group's shared graph addresses every file's syndrome bits.
-      oracles.emplace_back(first.graph, loaded[i].syndrome);
+      oracles.emplace_back(cal->graph, loaded[i].syndrome);
     }
     std::vector<const SyndromeOracle*> ptrs;
     ptrs.reserve(oracles.size());
     for (const TableOracle& o : oracles) ptrs.push_back(&o);
 
-    const BatchResult batch = engine.diagnose_all(ptrs);
+    const BatchResult batch = batch_engine->diagnose_all(ptrs);
     std::cout << spec << ": " << indices.size() << " syndrome(s), "
-              << engine.threads() << " thread(s), " << batch.succeeded
+              << batch_engine->threads() << " thread(s), " << batch.succeeded
               << " diagnosed in " << batch.seconds * 1e3 << " ms\n";
     for (std::size_t k = 0; k < indices.size(); ++k) {
       const DiagnosisResult& r = batch.results[k];
@@ -219,8 +288,11 @@ int cmd_diagnose_batch(const std::string& dir, unsigned threads) {
       std::cout << "\n";
     }
   }
+  const EngineCounters counters = engine.counters();
   std::cout << "batch total: " << total_ok << "/" << files.size()
-            << " diagnosed in " << timer.millis() << " ms\n";
+            << " diagnosed in " << timer.millis() << " ms ("
+            << counters.misses << " calibration(s) built, " << counters.hits
+            << " cache hit(s))\n";
   return exit_code;
 }
 
@@ -249,49 +321,210 @@ int cmd_diagnose(const std::vector<std::string>& args) {
     std::cerr << "cannot read " << path << "\n";
     return 2;
   }
-  LoadedSyndrome loaded = read_syndrome(in);
-  std::cout << "loaded " << loaded.spec << ": " << loaded.graph.num_nodes()
+  EngineOptions engine_options;
+  engine_options.threads = 1;
+  DiagnosisEngine engine(engine_options);
+  PinnedResolver resolve(engine);
+  const ParsedSyndrome loaded = read_syndrome(in, std::ref(resolve));
+  const std::shared_ptr<const Calibration> cal =
+      engine.calibration(loaded.spec);
+  std::cout << "loaded " << cal->spec << ": " << cal->graph.num_nodes()
             << " nodes, " << loaded.syndrome.total_tests() << " tests\n";
 
-  Diagnoser diagnoser(*loaded.topology, loaded.graph);
-  const TableOracle oracle(loaded.graph, loaded.syndrome);
-  Timer timer;
-  const DiagnosisResult result =
-      verify ? diagnose_and_verify(diagnoser, oracle) : diagnoser.diagnose(oracle);
+  const TableOracle oracle(cal->graph, loaded.syndrome);
+  DiagnosisResult result;
+  if (verify) {
+    const auto diagnoser = engine.make_diagnoser(loaded.spec);
+    result = diagnose_and_verify(*diagnoser, oracle);
+  } else {
+    result = engine.diagnose(loaded.spec, oracle);
+  }
   if (!result.success) {
     std::cerr << "diagnosis failed: " << result.failure_reason << "\n";
     return 1;
   }
   std::cout << "diagnosed " << result.faults.size() << " fault(s) in "
-            << timer.millis() << " ms (" << result.lookups << " look-ups"
+            << result.diagnose_seconds * 1e3 << " ms solve + "
+            << cal->build_seconds * 1e3 << " ms calibration ("
+            << result.lookups << " look-ups"
             << (verify ? ", verified" : "") << "):\n";
   for (const Node v : result.faults) {
-    std::cout << "  " << v << "  [" << loaded.topology->node_label(v) << "]\n";
+    std::cout << "  " << v << "  [" << cal->topology->node_label(v) << "]\n";
   }
   if (result.faults.empty()) std::cout << "  (system healthy)\n";
   return 0;
 }
 
+int cmd_serve(const std::vector<std::string>& args) {
+  namespace fs = std::filesystem;
+  std::string requests_path;
+  unsigned threads = 0;
+  std::size_t cache_capacity = 8;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--requests" && i + 1 < args.size()) {
+      requests_path = args[++i];
+    } else if (args[i] == "--threads" && i + 1 < args.size()) {
+      if (!parse_flag_value("--threads", args[++i], kMaxThreads, threads)) {
+        return usage();
+      }
+    } else if (args[i] == "--cache-capacity" && i + 1 < args.size()) {
+      if (!parse_flag_value("--cache-capacity", args[++i],
+                            std::uint64_t{1'000'000}, cache_capacity)) {
+        return usage();
+      }
+    } else {
+      std::cerr << "unknown serve argument '" << args[i] << "'\n";
+      return usage();
+    }
+  }
+  if (requests_path.empty()) return usage();
+
+  std::ifstream list(requests_path);
+  if (!list) {
+    std::cerr << "cannot read " << requests_path << "\n";
+    return 2;
+  }
+  const fs::path base = fs::path(requests_path).parent_path();
+  std::vector<fs::path> files;
+  std::string line;
+  while (std::getline(list, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    fs::path p(line);
+    if (p.is_relative()) p = base / p;
+    files.push_back(std::move(p));
+  }
+  if (files.empty()) {
+    std::cerr << "no requests in " << requests_path << "\n";
+    return 2;
+  }
+
+  EngineOptions engine_options;
+  engine_options.threads = threads;
+  engine_options.cache_capacity = cache_capacity;
+  DiagnosisEngine engine(engine_options);
+  PinnedResolver resolve(engine);
+
+  // Load the stream up front. Parsing resolves each spec through the
+  // engine, so first-touch calibration cost lands here — reported as the
+  // ingest line below; the per-request cold/warm rows then describe the
+  // serve phase itself (a "cold" request there means the LRU had to
+  // rebuild an evicted calibration mid-stream).
+  Timer ingest_timer;
+  std::vector<ParsedSyndrome> loaded;
+  loaded.reserve(files.size());
+  std::vector<TableOracle> oracles;
+  oracles.reserve(files.size());
+  std::vector<EngineRequest> requests;
+  requests.reserve(files.size());
+  for (const fs::path& file : files) {
+    std::ifstream in(file);
+    if (!in) {
+      std::cerr << "cannot read " << file.string() << "\n";
+      return 2;
+    }
+    try {
+      loaded.push_back(read_syndrome(in, std::ref(resolve)));
+    } catch (const std::exception& e) {
+      std::cerr << file.string() << ": " << e.what() << "\n";
+      return 2;
+    }
+    const std::string spec = loaded.back().spec;
+    // The bundle is already pinned from the parse above; touching the
+    // engine again here would only inflate the cache counters the summary
+    // reports.
+    const auto cal = resolve.pinned(resolve.canonical(spec));
+    if (!cal) {
+      std::cerr << "internal error: no calibration pinned for " << spec
+                << "\n";
+      return 2;
+    }
+    oracles.emplace_back(cal->graph, loaded.back().syndrome);
+    requests.push_back(EngineRequest{spec, &oracles.back()});
+  }
+  const EngineCounters ingested = engine.counters();
+  std::cout << "ingest: " << files.size() << " request(s), "
+            << ingested.misses << " calibration(s) built in "
+            << ingest_timer.millis() << " ms\n";
+
+  Timer timer;
+  const std::vector<DiagnosisResult> results = engine.serve(requests);
+  const double serve_seconds = timer.seconds();
+
+  int exit_code = 0;
+  std::size_t ok = 0;
+  double cold_setup = 0, warm_setup = 0, solve_seconds = 0;
+  std::size_t cold = 0, warm = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const DiagnosisResult& r = results[i];
+    std::cout << files[i].filename().string() << " [" << requests[i].spec
+              << "] " << (r.calibration_reused ? "warm" : "cold")
+              << " setup " << r.setup_seconds * 1e3 << " ms, solve "
+              << r.diagnose_seconds * 1e3 << " ms: ";
+    if (!r.success) {
+      // Failed requests (engine setup errors have setup_seconds = 0) are
+      // excluded from the tallies so they cannot skew the cold/warm
+      // amortisation averages.
+      std::cout << "FAILED (" << r.failure_reason << ")\n";
+      exit_code = 1;
+      continue;
+    }
+    (r.calibration_reused ? warm_setup : cold_setup) += r.setup_seconds;
+    ++(r.calibration_reused ? warm : cold);
+    solve_seconds += r.diagnose_seconds;
+    ++ok;
+    std::cout << r.faults.size() << " fault(s)";
+    for (const Node v : r.faults) std::cout << ' ' << v;
+    std::cout << "\n";
+  }
+
+  const EngineCounters counters = engine.counters();
+  std::cout << "serve total: " << ok << "/" << results.size()
+            << " diagnosed in " << serve_seconds * 1e3 << " ms over "
+            << engine.threads() << " thread(s)\n"
+            << "  cache: " << counters.hits << " hit(s), " << counters.misses
+            << " miss(es), " << counters.evictions << " eviction(s), "
+            << counters.entries << "/" << engine.capacity() << " resident\n"
+            << "  setup: " << cold << " cold request(s) totalling "
+            << cold_setup * 1e3 << " ms, " << warm
+            << " warm totalling " << warm_setup * 1e3 << " ms; solve total "
+            << solve_seconds * 1e3 << " ms\n";
+  if (cold > 0 && warm > 0 && warm_setup > 0) {
+    const double amortization =
+        (cold_setup / static_cast<double>(cold)) /
+        (warm_setup / static_cast<double>(warm));
+    std::cout << "  warm-cache per-request setup is " << amortization
+              << "x cheaper than cold\n";
+  }
+  return exit_code;
+}
+
 int cmd_info(const std::vector<std::string>& args) {
   std::string spec;
-  for (const auto& a : args) {
+  ParentRule rule = ParentRule::kSpread;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--rule" && i + 1 < args.size()) {
+      rule = parent_rule_from_string(args[++i]);
+      continue;
+    }
     if (!spec.empty()) spec += ' ';
-    spec += a;
+    spec += args[i];
   }
   if (spec.empty()) return usage();
   const auto topo = make_topology_from_spec(spec);
   const auto info = topo->info();
   const Graph graph = topo->build_graph();
   std::cout << info.name << " (" << info.family << ")\n"
+            << "  spec:           " << topo->spec() << "\n"
             << "  nodes:          " << info.num_nodes << "\n"
             << "  degree:         " << info.degree << "\n"
             << "  connectivity:   " << info.connectivity << "\n"
             << "  diagnosability: " << info.diagnosability << "\n"
-            << "  fault bound:    " << topo->default_fault_bound() << "\n";
+            << "  fault bound:    " << topo->default_fault_bound() << "\n"
+            << "  probe rule:     " << parent_rule_to_string(rule) << "\n";
   try {
     const auto cp = find_certified_partition(*topo, graph,
                                              topo->default_fault_bound(),
-                                             ParentRule::kSpread, true);
+                                             rule, true);
     std::cout << "  partition:      " << cp.plan->description() << "\n";
   } catch (const DiagnosisUnsupportedError& e) {
     std::cout << "  partition:      UNSUPPORTED\n" << e.what();
@@ -418,6 +651,7 @@ int main(int argc, char** argv) {
   try {
     if (command == "generate") return cmd_generate(args);
     if (command == "diagnose") return cmd_diagnose(args);
+    if (command == "serve") return cmd_serve(args);
     if (command == "info") return cmd_info(args);
     if (command == "fuzz") return cmd_fuzz(args);
   } catch (const std::exception& e) {

@@ -31,6 +31,35 @@ else
   echo "bench smoke: bench_batch not built (google-benchmark missing), skipped"
 fi
 
+if [ -x bench/bench_engine ]; then
+  # The engine smoke must show the calibration cache actually caching: on
+  # the repeated-spec stream the hit counter has to be nonzero (and
+  # eviction must fire on the thrash stream), or the service layer has
+  # silently degraded to calibrate-per-request.
+  ./bench/bench_engine --smoke --out BENCH_engine.json
+  if command -v python3 >/dev/null; then
+    python3 - <<'PY'
+import json
+with open("BENCH_engine.json") as f:
+    report = json.load(f)
+rows = report["results"]
+assert rows, "BENCH_engine.json has no results"
+repeated = [r for r in rows if r["stream"] == "repeated-spec"]
+assert repeated, "no repeated-spec rows"
+for r in repeated:
+    assert r["cache_hits"] > 0, f"repeated-spec stream scored no cache hits: {r}"
+    assert r["identical_to_direct"], f"engine diverged from direct diagnosis: {r}"
+assert any(r["cache_evictions"] > 0 for r in rows if r["stream"] == "thrash"), \
+    "thrash stream never evicted"
+print("engine smoke: cache hit/evict counters live, results identical to direct")
+PY
+  else
+    echo "engine smoke: python3 unavailable, JSON validation skipped"
+  fi
+else
+  echo "engine smoke: bench_engine not built (google-benchmark missing), skipped"
+fi
+
 if [ -x examples/mmdiag_cli ]; then
   # Fixed seed so the case stream is reproducible from the log alone;
   # budgeted so a pathological slowdown cannot hang CI — but an exhausted

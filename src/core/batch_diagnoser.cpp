@@ -31,6 +31,20 @@ BatchDiagnoser::BatchDiagnoser(const Graph& graph, CertifiedPartition partition,
   }
 }
 
+BatchDiagnoser::BatchDiagnoser(std::shared_ptr<const Graph> graph,
+                               CertifiedPartition partition,
+                               BatchOptions options)
+    : BatchDiagnoser(
+          [&]() -> const Graph& {
+            if (!graph) {
+              throw std::invalid_argument("BatchDiagnoser: null graph");
+            }
+            return *graph;
+          }(),
+          std::move(partition), options) {
+  graph_owner_ = std::move(graph);
+}
+
 BatchResult BatchDiagnoser::diagnose_all(
     const std::vector<const SyndromeOracle*>& oracles) {
   for (const SyndromeOracle* oracle : oracles) {

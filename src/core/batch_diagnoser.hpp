@@ -60,6 +60,13 @@ class BatchDiagnoser {
   BatchDiagnoser(const Graph& graph, CertifiedPartition partition,
                  BatchOptions options = {});
 
+  /// Shared-ownership variant: keeps the graph (and, through an aliasing
+  /// shared_ptr, whatever calibration bundle owns it) alive for the batch
+  /// engine's whole lifetime. Throws std::invalid_argument on a null graph
+  /// plus everything the raw-reference adopting constructor throws.
+  BatchDiagnoser(std::shared_ptr<const Graph> graph,
+                 CertifiedPartition partition, BatchOptions options = {});
+
   /// Diagnose every oracle; oracles[i] -> results[i]. Null entries are
   /// rejected with std::invalid_argument.
   [[nodiscard]] BatchResult diagnose_all(
@@ -76,6 +83,7 @@ class BatchDiagnoser {
   }
 
  private:
+  std::shared_ptr<const Graph> graph_owner_;  // null on the raw-pointer path
   const Graph* graph_;
   ThreadPool pool_;
   // lanes_[k] is exclusively used by pool lane k. unique_ptr keeps the

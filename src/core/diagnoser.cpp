@@ -3,9 +3,16 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/timer.hpp"
+
 namespace mmdiag {
 
 namespace {
+
+const Graph& deref_graph(const std::shared_ptr<const Graph>& graph) {
+  if (!graph) throw std::invalid_argument("Diagnoser: null graph");
+  return *graph;
+}
 
 unsigned resolve_delta(const Topology& topology, const DiagnoserOptions& o) {
   if (o.delta != 0) return o.delta;
@@ -59,8 +66,15 @@ Diagnoser::Diagnoser(const Graph& graph, CertifiedPartition partition,
   boundary_seen_.resize(graph.num_nodes());
 }
 
+Diagnoser::Diagnoser(std::shared_ptr<const Graph> graph,
+                     CertifiedPartition partition, DiagnoserOptions options)
+    : Diagnoser(deref_graph(graph), std::move(partition), options) {
+  graph_owner_ = std::move(graph);
+}
+
 DiagnosisResult Diagnoser::diagnose(const SyndromeOracle& oracle) {
   oracle.reset_lookups();
+  const Timer solve_timer;
   DiagnosisResult out;
   const PartitionPlan& plan = *partition_.plan;
 
@@ -88,6 +102,7 @@ DiagnosisResult Diagnoser::diagnose(const SyndromeOracle& oracle) {
         "no component certified within delta+1 probes; the fault count "
         "likely exceeds the bound delta = " +
         std::to_string(delta_);
+    out.diagnose_seconds = solve_timer.seconds();
     return out;
   }
   out.certified_component = certified;
@@ -110,6 +125,7 @@ DiagnosisResult Diagnoser::diagnose(const SyndromeOracle& oracle) {
   }
   std::sort(out.faults.begin(), out.faults.end());
   out.lookups = oracle.lookups();
+  out.diagnose_seconds = solve_timer.seconds();
 
   if (out.faults.size() > delta_) {
     // Impossible under the |F| <= δ promise (N ⊆ F); report rather than lie.

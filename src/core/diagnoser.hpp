@@ -58,6 +58,18 @@ struct DiagnosisResult {
   std::uint64_t lookups = 0;       // syndrome look-ups across all phases
   std::size_t final_members = 0;   // |U_r| of the unrestricted run
   unsigned final_rounds = 0;       // r of the unrestricted run
+
+  // Amortisation accounting. Calibration is the dominant setup cost, so
+  // engine benches and the CLI report the setup/solve split per request
+  // instead of one blended number. The split is measurement, never input:
+  // two results are "bit-identical" when every field above this comment
+  // matches; the timing fields vary run to run by construction.
+  bool calibration_reused = false; // served without waiting on a
+                                   // calibration build (cache hit that
+                                   // didn't block behind the builder)
+  double setup_seconds = 0;        // obtaining Topology+Graph+partition
+                                   // (engine-filled; 0 on the direct path)
+  double diagnose_seconds = 0;     // wall time of the diagnose() call
 };
 
 class Diagnoser {
@@ -78,6 +90,15 @@ class Diagnoser {
   Diagnoser(const Graph& graph, CertifiedPartition partition,
             DiagnoserOptions options = {});
 
+  /// Shared-ownership variant of the adopting constructor: the Diagnoser
+  /// keeps the graph alive, so callers (the engine's calibration cache, any
+  /// code handing Diagnosers across scopes) need not outlive it. Pass an
+  /// aliasing shared_ptr to tie the graph's lifetime to a larger bundle.
+  /// Throws std::invalid_argument on a null graph, and everything the
+  /// raw-reference adopting constructor throws.
+  Diagnoser(std::shared_ptr<const Graph> graph, CertifiedPartition partition,
+            DiagnoserOptions options = {});
+
   /// Diagnose one syndrome. The oracle's look-up counter is reset first.
   [[nodiscard]] DiagnosisResult diagnose(const SyndromeOracle& oracle);
 
@@ -90,6 +111,7 @@ class Diagnoser {
   }
 
  private:
+  std::shared_ptr<const Graph> graph_owner_;  // null on the raw-pointer path
   const Graph* graph_;
   DiagnoserOptions options_;
   unsigned delta_;

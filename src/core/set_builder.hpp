@@ -50,7 +50,22 @@ enum class ParentRule : std::uint8_t {
   kHashSpread,
 };
 
+inline constexpr ParentRule kAllParentRules[] = {
+    ParentRule::kLeastFirst, ParentRule::kSpread, ParentRule::kLeastSync,
+    ParentRule::kHashSpread};
+
 [[nodiscard]] std::string to_string(ParentRule rule);
+
+/// Named form of to_string(ParentRule) for call sites that also handle
+/// other enums' names (CLI flags, repro files) and want to say which
+/// mapping they mean.
+[[nodiscard]] std::string parent_rule_to_string(ParentRule rule);
+
+/// Inverse of parent_rule_to_string (also accepts underscore variants such
+/// as "least_first"). Throws std::invalid_argument on unknown names —
+/// shared by the CLI's --rule flag and repro IO, mirroring
+/// behavior_from_string.
+[[nodiscard]] ParentRule parent_rule_from_string(const std::string& name);
 
 struct SetBuilderResult {
   bool all_healthy = false;      // certificate: contributors exceeded δ

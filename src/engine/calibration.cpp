@@ -1,0 +1,35 @@
+#include "engine/calibration.hpp"
+
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace mmdiag {
+
+std::shared_ptr<const Calibration> build_calibration(
+    std::unique_ptr<const Topology> topology, unsigned delta, ParentRule rule,
+    bool validate_all) {
+  if (!topology) {
+    throw std::invalid_argument("build_calibration: null topology");
+  }
+  if (delta == 0) {
+    delta = topology->default_fault_bound();
+    if (delta == 0) {
+      throw DiagnosisUnsupportedError(
+          topology->info().name +
+          ": diagnosability is not established for these parameters (see "
+          "§5's validity conditions); request an explicit delta");
+    }
+  }
+  const Timer timer;
+  auto calibration = std::make_shared<Calibration>();
+  calibration->spec = topology->spec();
+  calibration->graph = topology->build_graph();
+  calibration->partition = find_certified_partition(
+      *topology, calibration->graph, delta, rule, validate_all);
+  calibration->topology = std::move(topology);
+  calibration->build_seconds = timer.seconds();
+  return calibration;
+}
+
+}  // namespace mmdiag

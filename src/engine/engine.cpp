@@ -1,0 +1,208 @@
+#include "engine/engine.hpp"
+
+#include <functional>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+#include "topology/registry.hpp"
+#include "util/timer.hpp"
+
+namespace mmdiag {
+
+DiagnosisEngine::DiagnosisEngine(EngineOptions options)
+    : options_(options),
+      capacity_(options.cache_capacity == 0 ? 1 : options.cache_capacity),
+      pool_(options.threads),
+      lane_scratch_(pool_.size()) {}
+
+DiagnosisEngine::ResolvedKey DiagnosisEngine::resolve(const std::string& spec,
+                                                      unsigned delta,
+                                                      ParentRule rule,
+                                                      bool validate_all) const {
+  ResolvedKey out;
+  out.topology = make_topology_from_spec(spec);
+  out.delta = delta != 0 ? delta : out.topology->default_fault_bound();
+  // out.delta may still be 0 (diagnosability unknown): the key is then never
+  // inserted because build_calibration throws its descriptive error first.
+  out.key = out.topology->spec();
+  out.key += "|delta=" + std::to_string(out.delta);
+  out.key += "|rule=" + parent_rule_to_string(rule);
+  if (!validate_all) out.key += "|component0-only";
+  return out;
+}
+
+std::shared_ptr<const Calibration> DiagnosisEngine::get_or_build(
+    const std::string& spec, unsigned delta, ParentRule rule,
+    bool validate_all, bool* reused) {
+  ResolvedKey resolved = resolve(spec, delta, rule, validate_all);
+  if (reused) *reused = true;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (const auto it = index_.find(resolved.key); it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++counters_.hits;
+      return it->second->calibration;
+    }
+  }
+
+  // Miss: serialise builds of this key on its stripe (other stripes — other
+  // specs — keep calibrating in parallel), then re-check. A racer that
+  // loses the stripe finds the winner's entry here and scores a counter
+  // *hit* (one build per key, however many threads miss simultaneously) —
+  // but it blocked for the whole build, so for latency attribution it is
+  // reported as not-reused: calibration_reused describes what this request
+  // waited for, the hit/miss counters describe what was built.
+  const std::lock_guard<std::mutex> build_lock(
+      stripes_[std::hash<std::string>{}(resolved.key) % kStripes]);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (const auto it = index_.find(resolved.key); it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++counters_.hits;
+      if (reused) *reused = false;
+      return it->second->calibration;
+    }
+  }
+
+  std::shared_ptr<const Calibration> built = build_calibration(
+      std::move(resolved.topology), resolved.delta, rule, validate_all);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    lru_.push_front(Entry{resolved.key, built});
+    index_[resolved.key] = lru_.begin();
+    ++counters_.misses;
+    while (lru_.size() > capacity_) {
+      index_.erase(lru_.back().key);
+      lru_.pop_back();
+      ++counters_.evictions;  // holders keep the evicted bundle alive
+    }
+  }
+  if (reused) *reused = false;
+  return built;
+}
+
+std::shared_ptr<const Calibration> DiagnosisEngine::calibration(
+    const std::string& spec) {
+  return get_or_build(spec, options_.diagnoser.delta, options_.diagnoser.rule,
+                      options_.diagnoser.validate_all_components, nullptr);
+}
+
+std::shared_ptr<const Calibration> DiagnosisEngine::calibration(
+    const std::string& spec, unsigned delta, ParentRule rule,
+    bool validate_all) {
+  return get_or_build(spec, delta, rule, validate_all, nullptr);
+}
+
+DiagnosisResult DiagnosisEngine::diagnose(const std::string& spec,
+                                          const SyndromeOracle& oracle) {
+  const Timer setup_timer;
+  bool reused = false;
+  const std::shared_ptr<const Calibration> cal =
+      get_or_build(spec, options_.diagnoser.delta, options_.diagnoser.rule,
+                   options_.diagnoser.validate_all_components, &reused);
+  Diagnoser diagnoser(graph_handle(cal), cal->partition, options_.diagnoser);
+  const double setup_seconds = setup_timer.seconds();
+  DiagnosisResult result = diagnoser.diagnose(oracle);
+  result.calibration_reused = reused;
+  result.setup_seconds = setup_seconds;
+  return result;
+}
+
+std::vector<DiagnosisResult> DiagnosisEngine::serve(
+    const std::vector<EngineRequest>& requests) {
+  const std::lock_guard<std::mutex> serve_lock(serve_mu_);
+  std::vector<DiagnosisResult> results(requests.size());
+  pool_.parallel_for(requests.size(), [&](unsigned lane, std::size_t i) {
+    const EngineRequest& request = requests[i];
+    DiagnosisResult& out = results[i];
+    if (request.oracle == nullptr) {
+      out.failure_reason = "null oracle in request";
+      return;
+    }
+    try {
+      const Timer setup_timer;
+      bool reused = false;
+      const std::shared_ptr<const Calibration> cal = get_or_build(
+          request.spec, options_.diagnoser.delta, options_.diagnoser.rule,
+          options_.diagnoser.validate_all_components, &reused);
+      // Lane-local Diagnoser per calibration: scratch (frontiers, stamp
+      // sets) is reused across the stream without crossing threads. Stale
+      // entries for evicted calibrations can never be looked up again (the
+      // pointer differs), so on overflow those are pruned first — keeping
+      // total pinned memory proportional to the cache capacity, not to
+      // threads x capacity — and only if every entry is still resident is
+      // the map cleared outright.
+      auto& scratch = lane_scratch_[lane];
+      auto it = scratch.find(cal.get());
+      if (it == scratch.end()) {
+        if (scratch.size() >= capacity_) {
+          prune_stale(scratch);
+          if (scratch.size() >= capacity_) scratch.clear();
+        }
+        it = scratch
+                 .emplace(cal.get(),
+                          LaneDiagnoser{cal, std::make_unique<Diagnoser>(
+                                                 graph_handle(cal),
+                                                 cal->partition,
+                                                 options_.diagnoser)})
+                 .first;
+      }
+      const double setup_seconds = setup_timer.seconds();
+      out = it->second.diagnoser->diagnose(*request.oracle);
+      out.calibration_reused = reused;
+      out.setup_seconds = setup_seconds;
+    } catch (const std::exception& e) {
+      // A malformed or unsupported request fails alone; the stream goes on.
+      out = DiagnosisResult{};
+      out.failure_reason = std::string("engine setup failed: ") + e.what();
+    }
+  });
+  return results;
+}
+
+std::unique_ptr<Diagnoser> DiagnosisEngine::make_diagnoser(
+    const std::string& spec) {
+  return make_diagnoser(spec, options_.diagnoser);
+}
+
+std::unique_ptr<Diagnoser> DiagnosisEngine::make_diagnoser(
+    const std::string& spec, const DiagnoserOptions& diagnoser_options) {
+  const std::shared_ptr<const Calibration> cal = get_or_build(
+      spec, diagnoser_options.delta, diagnoser_options.rule,
+      diagnoser_options.validate_all_components, nullptr);
+  return std::make_unique<Diagnoser>(graph_handle(cal), cal->partition,
+                                     diagnoser_options);
+}
+
+std::unique_ptr<BatchDiagnoser> DiagnosisEngine::make_batch_diagnoser(
+    const std::string& spec, unsigned threads) {
+  const std::shared_ptr<const Calibration> cal = calibration(spec);
+  BatchOptions batch;
+  batch.threads = threads;
+  batch.diagnoser = options_.diagnoser;
+  return std::make_unique<BatchDiagnoser>(graph_handle(cal), cal->partition,
+                                          batch);
+}
+
+void DiagnosisEngine::prune_stale(
+    std::unordered_map<const Calibration*, LaneDiagnoser>& scratch) const {
+  std::unordered_set<const Calibration*> resident;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    resident.reserve(lru_.size());
+    for (const Entry& entry : lru_) resident.insert(entry.calibration.get());
+  }
+  std::erase_if(scratch, [&](const auto& kv) {
+    return resident.find(kv.first) == resident.end();
+  });
+}
+
+EngineCounters DiagnosisEngine::counters() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  EngineCounters out = counters_;
+  out.entries = lru_.size();
+  return out;
+}
+
+}  // namespace mmdiag

@@ -1,5 +1,6 @@
 #include "fuzz/differ.hpp"
 
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 
@@ -80,19 +81,26 @@ std::optional<DiagnosisResult> run_config(DiffReport& report,
 
 }  // namespace
 
+EngineOptions FuzzContext::engine_options() {
+  EngineOptions options;
+  // Every catalog entry under both rules, with headroom for off-catalog
+  // replays; fuzzing is sequential, so one serve lane suffices.
+  options.cache_capacity = 64;
+  options.threads = 1;
+  return options;
+}
+
+FuzzContext::FuzzContext() : engine_(engine_options()) {}
+
 const FuzzSetup& FuzzContext::setup(const std::string& spec, unsigned delta) {
   const auto key = std::make_pair(spec, delta);
   const auto it = cache_.find(key);
   if (it != cache_.end()) return it->second;
 
   FuzzSetup s;
-  s.topology = make_topology_from_spec(spec);
-  s.graph = s.topology->build_graph();
-  s.spread = find_certified_partition(*s.topology, s.graph, delta,
-                                      ParentRule::kSpread, true);
+  s.spread = engine_.calibration(spec, delta, ParentRule::kSpread);
   try {
-    s.least_first = find_certified_partition(*s.topology, s.graph, delta,
-                                             ParentRule::kLeastFirst, true);
+    s.least_first = engine_.calibration(spec, delta, ParentRule::kLeastFirst);
   } catch (const DiagnosisUnsupportedError&) {
     // kSpread certifies strictly more instances; run without this config.
   }
@@ -122,7 +130,7 @@ Sabotage sabotage_from_string(const std::string& name) {
 DiffReport run_differential(FuzzContext& ctx, const FuzzCase& c,
                             Sabotage sabotage) {
   const FuzzSetup& s = ctx.setup(c.spec, c.delta);
-  const std::size_t n = s.graph.num_nodes();
+  const std::size_t n = s.graph().num_nodes();
   for (const Node v : c.faults) {
     if (v >= n) {
       throw std::invalid_argument("fuzz case: fault id " + std::to_string(v) +
@@ -141,9 +149,9 @@ DiffReport run_differential(FuzzContext& ctx, const FuzzCase& c,
   // is a harness or diagnosability bug rather than a driver bug — worth
   // surfacing just as loudly.
   if (truth != nullptr) {
-    const LazyOracle oracle(s.graph, faults, c.behavior, c.behavior_seed);
+    const LazyOracle oracle(s.graph(), faults, c.behavior, c.behavior_seed);
     try {
-      ExactSolver solver(s.graph, oracle, c.delta);
+      ExactSolver solver(s.graph(), oracle, c.delta);
       const DiagnosisResult exact = solver.diagnose();
       if (!exact.success || exact.faults != *truth) {
         report.divergences.push_back(
@@ -163,7 +171,7 @@ DiffReport run_differential(FuzzContext& ctx, const FuzzCase& c,
   // Sequential configurations.
   DiagnoserOptions spread_options;  // rule = kSpread, stop = false
   const std::optional<DiagnosisResult> reference = run_config(
-      report, "seq-spread", s.graph, s.spread, spread_options, c, faults);
+      report, "seq-spread", s.graph(), s.spread->partition, spread_options, c, faults);
   if (reference) {
     check_result(report, "seq-spread", *reference, truth, c);
   }
@@ -172,16 +180,16 @@ DiffReport run_differential(FuzzContext& ctx, const FuzzCase& c,
   // F inside the promise exactly like the raw driver, and outside it every
   // success it lets through must be consistent with the full syndrome.
   try {
-    Diagnoser diagnoser(s.graph, s.spread, spread_options);
-    const LazyOracle oracle(s.graph, faults, c.behavior, c.behavior_seed);
+    Diagnoser diagnoser(s.graph(), s.spread->partition, spread_options);
+    const LazyOracle oracle(s.graph(), faults, c.behavior, c.behavior_seed);
     const DiagnosisResult verified = diagnose_and_verify(diagnoser, oracle);
     if (truth != nullptr) {
       check_result(report, "seq-spread-verified", verified, truth, c);
     } else if (verified.success) {
-      const FaultSet claimed(s.graph.num_nodes(), verified.faults);
-      const LazyOracle fresh(s.graph, faults, c.behavior, c.behavior_seed);
+      const FaultSet claimed(s.graph().num_nodes(), verified.faults);
+      const LazyOracle fresh(s.graph(), faults, c.behavior, c.behavior_seed);
       if (verified.faults.size() > c.delta ||
-          !syndrome_consistent(s.graph, fresh, claimed)) {
+          !syndrome_consistent(s.graph(), fresh, claimed)) {
         report.divergences.push_back(
             {"seq-spread-verified",
              "verified driver let an inconsistent beyond-delta success "
@@ -196,17 +204,23 @@ DiffReport run_differential(FuzzContext& ctx, const FuzzCase& c,
 
   DiagnoserOptions eager = spread_options;
   eager.stop_probe_on_certify = true;
-  if (const auto r = run_config(report, "seq-spread-stopcert", s.graph,
-                                s.spread, eager, c, faults)) {
+  if (const auto r = run_config(report, "seq-spread-stopcert", s.graph(),
+                                s.spread->partition, eager, c, faults)) {
     check_result(report, "seq-spread-stopcert", *r, truth, c);
   }
 
   if (s.least_first) {
     DiagnoserOptions least;
     least.rule = ParentRule::kLeastFirst;
-    if (const auto r = run_config(report, "seq-leastfirst", s.graph,
-                                  *s.least_first, least, c, faults)) {
-      check_result(report, "seq-leastfirst", *r, truth, c);
+    const std::string config =
+        "seq-" + parent_rule_to_string(ParentRule::kLeastFirst);
+    const std::size_t before = report.divergences.size();
+    if (const auto r = run_config(report, config, s.graph(), s.least_first->partition,
+                                  least, c, faults)) {
+      check_result(report, config, *r, truth, c);
+    }
+    for (std::size_t i = before; i < report.divergences.size(); ++i) {
+      report.divergences[i].rule = ParentRule::kLeastFirst;
     }
   }
 
@@ -217,10 +231,10 @@ DiffReport run_differential(FuzzContext& ctx, const FuzzCase& c,
       BatchOptions batch_options;
       batch_options.threads = 3;
       batch_options.diagnoser = spread_options;
-      BatchDiagnoser engine(s.graph, s.spread, batch_options);
-      const LazyOracle o0(s.graph, faults, c.behavior, c.behavior_seed);
-      const LazyOracle o1(s.graph, faults, c.behavior, c.behavior_seed);
-      const LazyOracle o2(s.graph, faults, c.behavior, c.behavior_seed);
+      BatchDiagnoser engine(s.graph(), s.spread->partition, batch_options);
+      const LazyOracle o0(s.graph(), faults, c.behavior, c.behavior_seed);
+      const LazyOracle o1(s.graph(), faults, c.behavior, c.behavior_seed);
+      const LazyOracle o2(s.graph(), faults, c.behavior, c.behavior_seed);
       const BatchResult batch = engine.diagnose_all({&o0, &o1, &o2});
       for (std::size_t i = 0; i < batch.results.size(); ++i) {
         const DiagnosisResult& r = batch.results[i];
@@ -246,9 +260,13 @@ DiffReport run_differential(FuzzContext& ctx, const FuzzCase& c,
   if (sabotage == Sabotage::kRuleMismatch) {
     DiagnoserOptions mismatched;
     mismatched.rule = ParentRule::kLeastFirst;  // partition calibrated kSpread
-    if (const auto r = run_config(report, "sabotage-rule-mismatch", s.graph,
-                                  s.spread, mismatched, c, faults)) {
+    const std::size_t before = report.divergences.size();
+    if (const auto r = run_config(report, "sabotage-rule-mismatch", s.graph(),
+                                  s.spread->partition, mismatched, c, faults)) {
       check_result(report, "sabotage-rule-mismatch", *r, truth, c);
+    }
+    for (std::size_t i = before; i < report.divergences.size(); ++i) {
+      report.divergences[i].rule = ParentRule::kLeastFirst;
     }
   } else if (sabotage == Sabotage::kDropFault && reference) {
     DiagnosisResult tampered = *reference;

@@ -29,38 +29,51 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/certified_partition.hpp"
+#include "engine/engine.hpp"
 #include "fuzz/fuzz_case.hpp"
 #include "graph/graph.hpp"
 #include "topology/topology.hpp"
 
 namespace mmdiag {
 
-/// Per-(spec, delta) setup shared by every case on that instance: building
-/// the graph and calibrating the partitions dominates a case's cost, so the
-/// context caches them across the whole fuzz run.
+/// Per-(spec, delta) setup shared by every case on that instance: two
+/// calibration handles from the context's DiagnosisEngine, one per probe
+/// parent rule the differ exercises. Each bundle owns its own graph build;
+/// both builds are the same deterministic adjacency, so faults and oracles
+/// drawn over graph() address either one.
 struct FuzzSetup {
-  std::unique_ptr<Topology> topology;
-  Graph graph;
-  CertifiedPartition spread;      // calibrated under ParentRule::kSpread
-  /// Calibrated under kLeastFirst; absent when that rule cannot certify the
+  std::shared_ptr<const Calibration> spread;  // ParentRule::kSpread
+  /// Calibrated under kLeastFirst; null when that rule cannot certify the
   /// instance (the differ then skips the least-first configuration).
-  std::optional<CertifiedPartition> least_first;
+  std::shared_ptr<const Calibration> least_first;
+
+  [[nodiscard]] const Graph& graph() const noexcept { return spread->graph; }
 };
 
 class FuzzContext {
  public:
-  /// Cached lookup; builds and calibrates on first use. Throws
+  FuzzContext();
+
+  /// Cached lookup; calibrates through the engine on first use. Throws
   /// DiagnosisUnsupportedError when kSpread cannot certify `delta` and
   /// std::invalid_argument on unknown specs.
   const FuzzSetup& setup(const std::string& spec, unsigned delta);
 
+  [[nodiscard]] DiagnosisEngine& engine() noexcept { return engine_; }
+
  private:
+  static EngineOptions engine_options();
+
+  /// The calibration owner. Sized so a whole fuzz run (every catalog entry
+  /// × both rules) stays resident — the setup map below then only pins
+  /// cheap shared_ptr pairs and the per-(spec, delta) "least-first
+  /// uncertifiable" answer.
+  DiagnosisEngine engine_;
   std::map<std::pair<std::string, unsigned>, FuzzSetup> cache_;
 };
 
@@ -80,6 +93,10 @@ enum class Sabotage : std::uint8_t {
 struct Divergence {
   std::string config;  // which configuration disagreed (or "exact")
   std::string detail;
+  /// Probe parent rule the diverging configuration ran under (kSpread for
+  /// the exact solver and rule-free checks); recorded as provenance in the
+  /// repro file.
+  ParentRule rule = ParentRule::kSpread;
 };
 
 struct DiffReport {

@@ -97,6 +97,7 @@ void write_repro(std::ostream& os, const FuzzCase& c) {
   os << "inject-seed " << c.inject_seed << "\n";
   os << "behavior " << to_string(c.behavior) << "\n";
   os << "behavior-seed " << c.behavior_seed << "\n";
+  os << "rule " << parent_rule_to_string(c.rule) << "\n";
   os << "faults";
   for (const Node v : c.faults) os << ' ' << v;
   os << "\nend\n";
@@ -132,8 +133,18 @@ FuzzCase read_repro(std::istream& is) {
   c.behavior_seed = parse_u64(
       behavior_token, std::numeric_limits<std::uint64_t>::max(), lineno, "seed");
 
-  if (!next_record(is, line, lineno) ||
-      (line != "faults" && line.rfind("faults ", 0) != 0)) {
+  if (!next_record(is, line, lineno)) {
+    fail(lineno, "expected 'rule <name>' or 'faults [id...]'");
+  }
+  if (line.rfind("rule ", 0) == 0) {
+    try {
+      c.rule = parent_rule_from_string(line.substr(5));
+    } catch (const std::invalid_argument& e) {
+      fail(lineno, e.what());
+    }
+    if (!next_record(is, line, lineno)) fail(lineno, "expected 'faults [id...]'");
+  }
+  if (line != "faults" && line.rfind("faults ", 0) != 0) {
     fail(lineno, "expected 'faults [id...]'");
   }
   std::istringstream ls(line.substr(6));

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "core/set_builder.hpp"
 #include "mm/behavior.hpp"
 #include "util/types.hpp"
 
@@ -63,6 +64,9 @@ struct FuzzCase {
   std::uint64_t inject_seed = 0;   // provenance: rng stream the faults came from
   FaultyBehavior behavior = FaultyBehavior::kRandom;
   std::uint64_t behavior_seed = 0; // seeds the faulty testers' answers
+  /// Provenance: the probe parent rule of the first diverging configuration
+  /// (the differ always replays every configuration regardless).
+  ParentRule rule = ParentRule::kSpread;
   std::vector<Node> faults;        // sorted ascending; the replayed ground truth
 };
 
@@ -75,10 +79,13 @@ struct FuzzCase {
 //   inject-seed 17
 //   behavior anti-diagnostic
 //   behavior-seed 99
+//   rule spread
 //   faults 3 17 21
 //   end
 //
-// `faults` with no ids pins the fault-free case.
+// `faults` with no ids pins the fault-free case. The `rule` line (parent
+// rule names via parent_rule_to_string) is optional on read — repro files
+// written before it existed default to spread.
 void write_repro(std::ostream& os, const FuzzCase& c);
 
 /// Throws std::runtime_error with a line-numbered message on malformed

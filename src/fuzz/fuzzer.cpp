@@ -23,7 +23,7 @@ std::vector<Node> materialize_faults(const FuzzSetup& setup,
                                      InjectionPattern pattern,
                                      std::uint64_t inject_seed,
                                      std::size_t count) {
-  const Graph& g = setup.graph;
+  const Graph& g = setup.graph();
   const std::size_t n = g.num_nodes();
   Rng rng(inject_seed);
   count = std::min(count, n);
@@ -51,7 +51,7 @@ std::vector<Node> materialize_faults(const FuzzSetup& setup,
       break;
     }
     case InjectionPattern::kTargeted: {
-      const PartitionPlan& plan = *setup.spread.plan;
+      const PartitionPlan& plan = *setup.spread->partition.plan;
       const std::size_t ncomp = plan.num_components();
       const std::uint32_t a = static_cast<std::uint32_t>(rng.below(ncomp));
       const std::uint32_t b = static_cast<std::uint32_t>(rng.below(ncomp));
@@ -114,14 +114,14 @@ FuzzCase Fuzzer::minimize(FuzzCase current) {
   // smaller instance that still diverges is a strictly better repro.
   const std::string family = family_of(current.spec);
   const std::size_t current_nodes =
-      ctx_.setup(current.spec, current.delta).graph.num_nodes();
+      ctx_.setup(current.spec, current.delta).graph().num_nodes();
   for (const FuzzFamilyLadder& ladder : fuzz_catalog()) {
     if (ladder.family != family) continue;
     for (const FuzzCatalogEntry& entry : ladder.sizes) {
       if (entry.spec == current.spec) continue;
       try {
         const FuzzSetup& setup = ctx_.setup(entry.spec, entry.delta);
-        if (setup.graph.num_nodes() >= current_nodes) continue;
+        if (setup.graph().num_nodes() >= current_nodes) continue;
         FuzzCase candidate = current;
         candidate.spec = entry.spec;
         candidate.delta = entry.delta;
@@ -187,6 +187,10 @@ FuzzSummary Fuzzer::run() {
                                   : report.divergences.front();
     bug.config = first.config;
     bug.detail = first.detail;
+    // Provenance for the repro file: which probe rule the divergence was
+    // observed under (the replay re-runs every configuration regardless).
+    bug.minimized.rule = first.rule;
+    bug.original.rule = report.divergences.front().rule;
     summary.bugs.push_back(std::move(bug));
     if (options_.max_bugs != 0 && summary.bugs.size() >= options_.max_bugs) {
       break;

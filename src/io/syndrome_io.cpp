@@ -28,6 +28,63 @@ bool next_record(std::istream& is, std::string& line, std::size_t& lineno) {
   return false;
 }
 
+/// Shared body: the "node <id> <bits>" records up to "end", writing into a
+/// syndrome sized for `graph`.
+Syndrome read_syndrome_records(std::istream& is, const Graph& graph,
+                               std::size_t& lineno) {
+  Syndrome syndrome(graph);
+  std::vector<bool> seen(graph.num_nodes(), false);
+  std::size_t remaining = graph.num_nodes();
+  std::string line;
+  while (next_record(is, line, lineno)) {
+    if (line == "end") {
+      if (remaining != 0) {
+        fail(lineno, std::to_string(remaining) + " node record(s) missing");
+      }
+      return syndrome;
+    }
+    std::istringstream ls(line);
+    std::string keyword, bits;
+    std::uint64_t id = 0;
+    if (!(ls >> keyword >> id >> bits) || keyword != "node") {
+      fail(lineno, "expected 'node <id> <bits>'");
+    }
+    if (id >= graph.num_nodes()) fail(lineno, "node id out of range");
+    if (seen[id]) fail(lineno, "duplicate node record");
+    seen[id] = true;
+    --remaining;
+    const unsigned d = graph.degree(static_cast<Node>(id));
+    const std::size_t expected = static_cast<std::size_t>(d) * (d - 1) / 2;
+    if (bits == "-" && expected == 0) continue;
+    if (bits.size() != expected) {
+      fail(lineno, "expected " + std::to_string(expected) + " bits, got " +
+                       std::to_string(bits.size()));
+    }
+    std::size_t cursor = 0;
+    for (unsigned i = 0; i + 1 < d; ++i) {
+      for (unsigned j = i + 1; j < d; ++j, ++cursor) {
+        if (bits[cursor] != '0' && bits[cursor] != '1') {
+          fail(lineno, "bits must be 0 or 1");
+        }
+        syndrome.set_test(static_cast<Node>(id), i, j, bits[cursor] == '1');
+      }
+    }
+  }
+  fail(lineno, "missing 'end'");
+}
+
+/// Shared header: "mmdiag-syndrome v1" + "topology <spec>"; returns spec.
+std::string read_syndrome_header(std::istream& is, std::size_t& lineno) {
+  std::string line;
+  if (!next_record(is, line, lineno) || line != "mmdiag-syndrome v1") {
+    fail(lineno, "expected header 'mmdiag-syndrome v1'");
+  }
+  if (!next_record(is, line, lineno) || line.rfind("topology ", 0) != 0) {
+    fail(lineno, "expected 'topology <spec>'");
+  }
+  return line.substr(9);
+}
+
 }  // namespace
 
 void write_syndrome(std::ostream& os, const std::string& spec,
@@ -50,60 +107,32 @@ void write_syndrome(std::ostream& os, const std::string& spec,
 
 LoadedSyndrome read_syndrome(std::istream& is) {
   std::size_t lineno = 0;
-  std::string line;
-  if (!next_record(is, line, lineno) || line != "mmdiag-syndrome v1") {
-    fail(lineno, "expected header 'mmdiag-syndrome v1'");
-  }
-  if (!next_record(is, line, lineno) || line.rfind("topology ", 0) != 0) {
-    fail(lineno, "expected 'topology <spec>'");
-  }
-  LoadedSyndrome out{line.substr(9), nullptr, Graph{}, Syndrome{Graph{}}};
+  LoadedSyndrome out{read_syndrome_header(is, lineno), nullptr, Graph{},
+                     Syndrome{Graph{}}};
   try {
     out.topology = make_topology_from_spec(out.spec);
   } catch (const std::exception& e) {
     fail(lineno, std::string("bad topology spec: ") + e.what());
   }
   out.graph = out.topology->build_graph();
-  out.syndrome = Syndrome(out.graph);
+  out.syndrome = read_syndrome_records(is, out.graph, lineno);
+  return out;
+}
 
-  std::vector<bool> seen(out.graph.num_nodes(), false);
-  std::size_t remaining = out.graph.num_nodes();
-  while (next_record(is, line, lineno)) {
-    if (line == "end") {
-      if (remaining != 0) {
-        fail(lineno, std::to_string(remaining) + " node record(s) missing");
-      }
-      return out;
-    }
-    std::istringstream ls(line);
-    std::string keyword, bits;
-    std::uint64_t id = 0;
-    if (!(ls >> keyword >> id >> bits) || keyword != "node") {
-      fail(lineno, "expected 'node <id> <bits>'");
-    }
-    if (id >= out.graph.num_nodes()) fail(lineno, "node id out of range");
-    if (seen[id]) fail(lineno, "duplicate node record");
-    seen[id] = true;
-    --remaining;
-    const unsigned d = out.graph.degree(static_cast<Node>(id));
-    const std::size_t expected = static_cast<std::size_t>(d) * (d - 1) / 2;
-    if (bits == "-" && expected == 0) continue;
-    if (bits.size() != expected) {
-      fail(lineno, "expected " + std::to_string(expected) + " bits, got " +
-                       std::to_string(bits.size()));
-    }
-    std::size_t cursor = 0;
-    for (unsigned i = 0; i + 1 < d; ++i) {
-      for (unsigned j = i + 1; j < d; ++j, ++cursor) {
-        if (bits[cursor] != '0' && bits[cursor] != '1') {
-          fail(lineno, "bits must be 0 or 1");
-        }
-        out.syndrome.set_test(static_cast<Node>(id), i, j,
-                              bits[cursor] == '1');
-      }
-    }
+ParsedSyndrome read_syndrome(
+    std::istream& is,
+    const std::function<const Graph&(const std::string& spec)>& resolve) {
+  std::size_t lineno = 0;
+  ParsedSyndrome out{read_syndrome_header(is, lineno), Syndrome{Graph{}}};
+  const Graph* graph = nullptr;
+  try {
+    graph = &resolve(out.spec);
+  } catch (const std::exception& e) {
+    fail(lineno, "cannot resolve topology spec '" + out.spec +
+                     "': " + e.what());
   }
-  fail(lineno, "missing 'end'");
+  out.syndrome = read_syndrome_records(is, *graph, lineno);
+  return out;
 }
 
 void write_node_list(std::ostream& os, const std::vector<Node>& nodes) {

@@ -16,6 +16,7 @@
 // positions are unambiguous.
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -33,6 +34,13 @@ struct LoadedSyndrome {
   Syndrome syndrome;
 };
 
+/// A syndrome parsed against a caller-resolved graph (no per-file topology
+/// or graph build — see the resolver overload of read_syndrome).
+struct ParsedSyndrome {
+  std::string spec;      // the topology line, as written
+  Syndrome syndrome;     // addressed by the resolved graph's adjacency
+};
+
 /// Serialise a syndrome together with its topology spec.
 void write_syndrome(std::ostream& os, const std::string& spec,
                     const Graph& graph, const Syndrome& syndrome);
@@ -40,6 +48,16 @@ void write_syndrome(std::ostream& os, const std::string& spec,
 /// Parse a syndrome file; throws std::runtime_error with a line-numbered
 /// message on any malformed input.
 [[nodiscard]] LoadedSyndrome read_syndrome(std::istream& is);
+
+/// As above, but the graph comes from `resolve(spec)` instead of a fresh
+/// topology+graph build per file. Engine-backed entry points (serve, batch)
+/// pass a resolver over the calibration cache, so a thousand-file request
+/// stream touches one shared adjacency per spec. The resolver owns the
+/// graph's lifetime and may throw (reported as a line-numbered parse error
+/// naming the spec).
+[[nodiscard]] ParsedSyndrome read_syndrome(
+    std::istream& is,
+    const std::function<const Graph&(const std::string& spec)>& resolve);
 
 /// Convenience: node list serialisation ("3 17 42\n"), used for fault sets.
 /// read_node_list skips blank and '#' lines, accepts ids split over any

@@ -20,6 +20,9 @@ class Arrangement final : public PermTopology {
 
   [[nodiscard]] TopologyInfo info() const override;
   void neighbors(Node u, std::vector<Node>& out) const override;
+  [[nodiscard]] std::vector<unsigned> params() const override {
+    return {n_, k_};
+  }
   [[nodiscard]] unsigned default_fault_bound() const override;
 };
 

@@ -40,6 +40,9 @@ class BitCubeTopology : public Topology {
     return plans;
   }
 
+  /// All single-parameter cube families; EnhancedHypercube overrides.
+  [[nodiscard]] std::vector<unsigned> params() const override { return {n_}; }
+
  protected:
   unsigned n_;
 };

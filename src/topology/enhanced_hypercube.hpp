@@ -15,6 +15,9 @@ class EnhancedHypercube final : public BitCubeTopology {
 
   [[nodiscard]] TopologyInfo info() const override;
   void neighbors(Node u, std::vector<Node>& out) const override;
+  [[nodiscard]] std::vector<unsigned> params() const override {
+    return {n_, k_};
+  }
 
   [[nodiscard]] unsigned k() const noexcept { return k_; }
 

@@ -22,6 +22,9 @@ class KAryNCube : public Topology {
   [[nodiscard]] std::string node_label(Node u) const override;
   [[nodiscard]] std::vector<std::shared_ptr<const PartitionPlan>>
   partition_plans() const override;
+  [[nodiscard]] std::vector<unsigned> params() const override {
+    return {n_, k_};
+  }
 
   [[nodiscard]] unsigned n() const noexcept { return n_; }
   [[nodiscard]] unsigned k() const noexcept { return k_; }

@@ -17,6 +17,9 @@ class NKStar final : public PermTopology {
 
   [[nodiscard]] TopologyInfo info() const override;
   void neighbors(Node u, std::vector<Node>& out) const override;
+  [[nodiscard]] std::vector<unsigned> params() const override {
+    return {n_, k_};
+  }
 };
 
 }  // namespace mmdiag

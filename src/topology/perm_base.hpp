@@ -37,6 +37,10 @@ class PermTopology : public Topology {
     return {std::make_shared<FixLastSymbolPlan>(n_, k_)};
   }
 
+  /// Star and pancake graphs are registered by n alone; the k-parameterised
+  /// families (NKStar, Arrangement) override.
+  [[nodiscard]] std::vector<unsigned> params() const override { return {n_}; }
+
   [[nodiscard]] const PermCodec& codec() const noexcept { return codec_; }
 
  protected:

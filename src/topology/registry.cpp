@@ -1,5 +1,6 @@
 #include "topology/registry.hpp"
 
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -17,6 +18,7 @@
 #include "topology/star_graph.hpp"
 #include "topology/twisted_cube.hpp"
 #include "topology/twisted_n_cube.hpp"
+#include "util/parse.hpp"
 
 namespace mmdiag {
 namespace {
@@ -110,17 +112,26 @@ std::unique_ptr<Topology> make_topology_from_spec(const std::string& spec) {
   in >> family;
   if (family.empty()) throw std::invalid_argument("empty topology spec");
   std::vector<unsigned> params;
-  unsigned value = 0;
-  while (in >> value) params.push_back(value);
-  if (!in.eof()) {
-    std::string rest;
-    in.clear();
-    in >> rest;
-    throw std::invalid_argument("bad topology spec '" + spec +
-                                "': trailing non-numeric token '" + rest +
-                                "'");
+  std::string token;
+  while (in >> token) {
+    // parse_unsigned keeps the accepted parameter grammar strict: plain
+    // decimal only, so "-1" (which stream extraction into unsigned silently
+    // wraps), "0x17", "1e3" and "12junk" are all errors, while a
+    // zero-padded "07" parses and canonicalises to 7.
+    const auto value =
+        parse_unsigned(token, std::numeric_limits<unsigned>::max());
+    if (!value) {
+      throw std::invalid_argument("bad topology spec '" + spec +
+                                  "': parameter '" + token +
+                                  "' is not a plain decimal unsigned integer");
+    }
+    params.push_back(static_cast<unsigned>(*value));
   }
   return make_topology(family, params);
+}
+
+std::string canonical_topology_spec(const std::string& spec) {
+  return make_topology_from_spec(spec)->spec();
 }
 
 }  // namespace mmdiag

@@ -18,8 +18,17 @@ namespace mmdiag {
 [[nodiscard]] std::unique_ptr<Topology> make_topology(
     const std::string& family, const std::vector<unsigned>& params);
 
-/// Parse "family n [k]" into a topology (e.g. "kary_ncube 3 4").
+/// Parse "family n [k]" into a topology (e.g. "kary_ncube 3 4"). Tokens may
+/// be separated by any whitespace; parameters must be plain decimal
+/// unsigned integers ("07" is accepted and normalises to 7, signs and hex
+/// are rejected).
 [[nodiscard]] std::unique_ptr<Topology> make_topology_from_spec(
     const std::string& spec);
+
+/// Parse + re-serialise: the canonical form of any accepted spec
+/// (equivalently make_topology_from_spec(spec)->spec()). Two specs denote
+/// the same instance iff their canonical forms are equal — the engine's
+/// calibration cache keys on this.
+[[nodiscard]] std::string canonical_topology_spec(const std::string& spec);
 
 }  // namespace mmdiag

@@ -4,6 +4,15 @@
 
 namespace mmdiag {
 
+std::string Topology::spec() const {
+  std::string out = info().family;
+  for (const unsigned p : params()) {
+    out += ' ';
+    out += std::to_string(p);
+  }
+  return out;
+}
+
 Graph Topology::build_graph() const {
   return build_graph_from_generator(
       static_cast<std::size_t>(info().num_nodes),

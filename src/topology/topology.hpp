@@ -44,6 +44,17 @@ class Topology {
   [[nodiscard]] virtual std::vector<std::shared_ptr<const PartitionPlan>>
   partition_plans() const = 0;
 
+  /// The registry parameters of this instance, in the order
+  /// make_topology(family, params) expects them.
+  [[nodiscard]] virtual std::vector<unsigned> params() const = 0;
+
+  /// Canonical registry spec, "family p1 [p2]". Round-trip guarantee:
+  /// make_topology_from_spec(t.spec()) reconstructs an instance with the
+  /// same family and params, and parsing any whitespace/zero-padded variant
+  /// of a spec canonicalises to the same string — which is what makes the
+  /// engine's calibration cache key stable across entry points.
+  [[nodiscard]] std::string spec() const;
+
   /// The fault bound the paper's theorem for this family supports.
   /// Usually equals diagnosability; arrangement graphs (Theorem 7) only
   /// support n-1.

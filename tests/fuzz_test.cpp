@@ -21,7 +21,8 @@ namespace {
 bool equal_cases(const FuzzCase& a, const FuzzCase& b) {
   return a.spec == b.spec && a.delta == b.delta && a.pattern == b.pattern &&
          a.inject_seed == b.inject_seed && a.behavior == b.behavior &&
-         a.behavior_seed == b.behavior_seed && a.faults == b.faults;
+         a.behavior_seed == b.behavior_seed && a.rule == b.rule &&
+         a.faults == b.faults;
 }
 
 TEST(FuzzCatalog, EveryEntryCertifiesUnderBothRulesAndLaddersAscend) {
@@ -38,14 +39,14 @@ TEST(FuzzCatalog, EveryEntryCertifiesUnderBothRulesAndLaddersAscend) {
       // setup() throws if kSpread cannot certify; the least-first config
       // must also be live or the differ would silently skip a rule.
       const FuzzSetup& s = ctx.setup(entry.spec, entry.delta);
-      EXPECT_TRUE(s.least_first.has_value());
-      EXPECT_EQ(s.spread.rule, ParentRule::kSpread);
-      EXPECT_EQ(s.spread.delta, entry.delta);
+      EXPECT_NE(s.least_first, nullptr);
+      EXPECT_EQ(s.spread->rule(), ParentRule::kSpread);
+      EXPECT_EQ(s.spread->delta(), entry.delta);
       // Theorem 1 needs kappa >= delta for N(U_r) = F.
-      EXPECT_LE(entry.delta, s.topology->info().connectivity);
-      EXPECT_GT(s.graph.num_nodes(), previous_nodes)
+      EXPECT_LE(entry.delta, s.spread->topology->info().connectivity);
+      EXPECT_GT(s.graph().num_nodes(), previous_nodes)
           << "ladder must ascend so the minimizer can walk down";
-      previous_nodes = s.graph.num_nodes();
+      previous_nodes = s.graph().num_nodes();
     }
   }
 }
@@ -190,6 +191,39 @@ TEST(ReproFiles, RoundTripPreservesEveryField) {
   std::stringstream ss2;
   write_repro(ss2, empty);
   EXPECT_TRUE(equal_cases(empty, read_repro(ss2)));
+
+  // The rule provenance line round-trips through the shared
+  // parent_rule_to_string/parent_rule_from_string helpers.
+  FuzzCase ruled = c;
+  ruled.rule = ParentRule::kLeastFirst;
+  std::stringstream ss3;
+  write_repro(ss3, ruled);
+  EXPECT_NE(ss3.str().find("rule least-first"), std::string::npos);
+  EXPECT_TRUE(equal_cases(ruled, read_repro(ss3)));
+}
+
+TEST(ReproFiles, RuleLineIsOptionalForOlderReprosAndValidated) {
+  // Corpus files written before the rule line existed must keep parsing
+  // (defaulting to spread)...
+  std::istringstream legacy(
+      "mmdiag-repro v1\nspec star 4\ndelta 3\npattern uniform\n"
+      "inject-seed 1\nbehavior random\nbehavior-seed 2\nfaults 1 2\nend\n");
+  const FuzzCase c = read_repro(legacy);
+  EXPECT_EQ(c.rule, ParentRule::kSpread);
+  EXPECT_EQ(c.faults, (std::vector<Node>{1, 2}));
+  // ... while an unknown rule name is a line-numbered parse error.
+  std::istringstream bad(
+      "mmdiag-repro v1\nspec star 4\ndelta 3\npattern uniform\n"
+      "inject-seed 1\nbehavior random\nbehavior-seed 2\nrule fastest\n"
+      "faults 1\nend\n");
+  try {
+    (void)read_repro(bad);
+    FAIL() << "accepted unknown rule name";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 8"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("fastest"), std::string::npos);
+  }
 }
 
 TEST(ReproFiles, MalformedInputsThrowWithLineNumbers) {

@@ -92,8 +92,35 @@ TEST(RegistrySpec, WrongParameterCountThrowsWithCounts) {
 
 TEST(RegistrySpec, NonNumericOrTrailingGarbageThrows) {
   expect_invalid("hypercube three", "hypercube");
-  expect_invalid("hypercube 3 extra_stuff", "trailing");
-  expect_invalid("kary_ncube 2 3 junk", "trailing");
+  expect_invalid("hypercube 3 extra_stuff", "not a plain decimal");
+  expect_invalid("kary_ncube 2 3 junk", "not a plain decimal");
+  // Stream extraction into unsigned would silently wrap "-1"; the strict
+  // parameter grammar rejects signs, hex, and exponents outright.
+  expect_invalid("hypercube -1", "not a plain decimal");
+  expect_invalid("hypercube 0x3", "not a plain decimal");
+  expect_invalid("hypercube 1e1", "not a plain decimal");
+}
+
+TEST(RegistrySpec, CanonicalSpecRoundTripsForEveryFamily) {
+  for (const auto& [family, spec] : small_specs()) {
+    SCOPED_TRACE(spec);
+    const auto topo = make_topology_from_spec(spec);
+    // The small-spec table is written in canonical form already, so the
+    // round trip must be exact ...
+    EXPECT_EQ(topo->spec(), spec);
+    // ... and re-parsing the canonical form reconstructs an equal instance.
+    const auto again = make_topology_from_spec(topo->spec());
+    EXPECT_EQ(again->info().family, topo->info().family);
+    EXPECT_EQ(again->params(), topo->params());
+    EXPECT_EQ(again->info().num_nodes, topo->info().num_nodes);
+  }
+}
+
+TEST(RegistrySpec, CanonicalSpecNormalisesWhitespaceAndParamForms) {
+  EXPECT_EQ(canonical_topology_spec("  hypercube    3 "), "hypercube 3");
+  EXPECT_EQ(canonical_topology_spec("hypercube\t07"), "hypercube 7");
+  EXPECT_EQ(canonical_topology_spec("kary_ncube  2\t 3"), "kary_ncube 2 3");
+  EXPECT_EQ(canonical_topology_spec("star 04"), "star 4");
 }
 
 TEST(RegistrySpec, MakeTopologyMatchesSpecPath) {
