@@ -1,0 +1,321 @@
+// Hot-path benchmark: per-syndrome solve throughput of the §5 driver,
+// old-vs-new in the same binary over identical workloads, three modes per
+// row:
+//
+//   baseline — Diagnoser::diagnose_baseline, the pre-optimisation
+//       implementation preserved verbatim (per-pair virtual look-ups,
+//       stamp-array membership, sorted vector frontiers, per-round parent
+//       searches, per-run heap scratch). The virtual-dispatch baseline
+//       every speedup is quoted against.
+//   erased — the restructured hot path entered through the type-erased
+//       SyndromeOracle& interface (still virtual per look-up, but bitmap
+//       frontiers, bitset membership, mirror positions, reserves).
+//   static — the same restructured path statically dispatched on the
+//       concrete oracle type; TableOracle additionally serves whole
+//       syndrome rows as single word reads.
+//
+// All three must report bit-identical faults AND bit-identical look-up
+// counts on every row (§6's complexity is counted look-ups — the word
+// reads change the physical access pattern, never the accounting); a row
+// with identical_faults/identical_lookups false fails the run.
+//
+// Not a google-benchmark binary (and deliberately not linked against it):
+// the measured unit is a whole syndrome batch per dispatch mode, and CI
+// asserts the equivalence fields even on images without the benchmark
+// library.
+//
+//   bench_hotpath [--smoke] [--out FILE] [--reps R]
+//
+// --smoke shrinks to tiny instances for CI (seconds); schema is identical.
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "core/certified_partition.hpp"
+#include "core/diagnoser.hpp"
+#include "mm/behavior.hpp"
+#include "mm/fault_set.hpp"
+#include "mm/injector.hpp"
+#include "mm/oracle.hpp"
+#include "mm/syndrome.hpp"
+#include "topology/registry.hpp"
+#include "util/parse.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace mmdiag::bench {
+namespace {
+
+struct SweepConfig {
+  std::string spec;
+  std::size_t syndromes;
+};
+
+/// Deterministic mixed workload shared by every (rule, oracle) row of one
+/// spec: fault counts cycle 0..delta and the faulty-tester behaviour
+/// alternates, so both dispatch modes solve the same instant-certification,
+/// deep-probing and boundary-heavy cases in the same order.
+struct Workload {
+  std::vector<FaultSet> faults;
+  std::vector<Syndrome> syndromes;   // materialised for TableOracle rows
+  std::vector<FaultyBehavior> behaviors;
+};
+
+Workload make_workload(const Graph& graph, std::size_t count, unsigned delta) {
+  constexpr FaultyBehavior kBehaviors[] = {
+      FaultyBehavior::kRandom, FaultyBehavior::kAllZero,
+      FaultyBehavior::kAllOne, FaultyBehavior::kAntiDiagnostic};
+  Workload w;
+  w.faults.reserve(count);
+  w.syndromes.reserve(count);
+  w.behaviors.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Rng rng(0x407947 + i * 2654435761ULL);
+    const std::size_t num_faults = i % (static_cast<std::size_t>(delta) + 1);
+    w.faults.emplace_back(graph.num_nodes(),
+                          inject_uniform(graph.num_nodes(), num_faults, rng));
+    w.behaviors.push_back(kBehaviors[i % 4]);
+    w.syndromes.push_back(
+        generate_syndrome(graph, w.faults.back(), w.behaviors.back(), i));
+  }
+  return w;
+}
+
+struct RowMeasurement {
+  double baseline_seconds = 0;
+  double erased_seconds = 0;
+  double static_seconds = 0;
+  std::uint64_t total_lookups = 0;  // summed over the static pass
+  std::size_t succeeded = 0;
+  bool identical_faults = true;
+  bool identical_lookups = true;
+  bool identical_accounting = true;
+};
+
+/// Times the three dispatch modes over the same oracle sequence. `reps`
+/// repeats each timed loop and keeps the fastest pass (the solver is
+/// deterministic, so repetition only rejects scheduler noise).
+template <class O>
+RowMeasurement measure(Diagnoser& diagnoser, const std::vector<const O*>& oracles,
+                       unsigned reps) {
+  RowMeasurement m;
+  std::vector<DiagnosisResult> base(oracles.size());
+  std::vector<DiagnosisResult> erased(oracles.size());
+  std::vector<DiagnosisResult> stat(oracles.size());
+  (void)diagnoser.diagnose(*oracles[0]);  // touch caches / build scratch
+  (void)diagnoser.diagnose_baseline(*oracles[0]);
+  m.baseline_seconds = std::numeric_limits<double>::infinity();
+  m.erased_seconds = std::numeric_limits<double>::infinity();
+  m.static_seconds = std::numeric_limits<double>::infinity();
+  for (unsigned rep = 0; rep < reps; ++rep) {
+    Timer tb;
+    for (std::size_t i = 0; i < oracles.size(); ++i) {
+      base[i] = diagnoser.diagnose_baseline(*oracles[i]);
+    }
+    m.baseline_seconds = std::min(m.baseline_seconds, tb.seconds());
+    Timer te;
+    for (std::size_t i = 0; i < oracles.size(); ++i) {
+      erased[i] =
+          diagnoser.diagnose(static_cast<const SyndromeOracle&>(*oracles[i]));
+    }
+    m.erased_seconds = std::min(m.erased_seconds, te.seconds());
+    Timer ts;
+    for (std::size_t i = 0; i < oracles.size(); ++i) {
+      stat[i] = diagnoser.diagnose(*oracles[i]);
+    }
+    m.static_seconds = std::min(m.static_seconds, ts.seconds());
+  }
+  for (std::size_t i = 0; i < oracles.size(); ++i) {
+    const DiagnosisResult& b = base[i];
+    const DiagnosisResult& e = erased[i];
+    const DiagnosisResult& s = stat[i];
+    m.total_lookups += s.lookups;
+    m.succeeded += s.success ? 1 : 0;
+    if (b.success != s.success || b.faults != s.faults ||
+        b.failure_reason != s.failure_reason || e.success != s.success ||
+        e.faults != s.faults || e.failure_reason != s.failure_reason) {
+      m.identical_faults = false;
+    }
+    if (b.lookups != s.lookups || e.lookups != s.lookups) {
+      m.identical_lookups = false;
+    }
+    if (b.probes != s.probes || e.probes != s.probes ||
+        b.certified_component != s.certified_component ||
+        e.certified_component != s.certified_component ||
+        b.final_members != s.final_members ||
+        e.final_members != s.final_members ||
+        b.final_rounds != s.final_rounds || e.final_rounds != s.final_rounds) {
+      m.identical_accounting = false;
+    }
+  }
+  return m;
+}
+
+int run(bool smoke, const std::string& out_path, unsigned reps) {
+  const std::vector<SweepConfig> configs =
+      smoke ? std::vector<SweepConfig>{{"hypercube 7", 8}, {"star 5", 8}}
+            : std::vector<SweepConfig>{{"hypercube 12", 240},
+                                       {"hypercube 10", 400},
+                                       {"star 7", 120},
+                                       {"kary_ncube 4 4", 400},
+                                       {"crossed_cube 9", 400}};
+
+  JsonBenchReport report("bench_hotpath");
+  report.set_meta("smoke", JsonValue::boolean(smoke));
+  report.set_meta("reps", JsonValue::num(std::uint64_t{reps}));
+  report.set_meta("hardware_threads",
+                  JsonValue::num(std::thread::hardware_concurrency()));
+
+  std::cout << std::left << std::setw(18) << "topology" << std::setw(13)
+            << "rule" << std::setw(12) << "oracle" << std::right
+            << std::setw(10) << "base/s" << std::setw(10) << "erased/s"
+            << std::setw(10) << "static/s" << std::setw(9) << "speedup"
+            << std::setw(11) << "identical" << "\n";
+
+  bool all_identical = true;
+  for (const SweepConfig& config : configs) {
+    const auto topo = make_topology_from_spec(config.spec);
+    const Graph graph = topo->build_graph();
+    const unsigned delta = topo->default_fault_bound();
+    const Workload workload = make_workload(graph, config.syndromes, delta);
+
+    for (const ParentRule rule : kAllParentRules) {
+      DiagnoserOptions options;
+      options.rule = rule;
+      CertifiedPartition partition;
+      try {
+        partition = find_certified_partition(*topo, graph, delta, rule);
+      } catch (const DiagnosisUnsupportedError&) {
+        std::cerr << "skip " << config.spec << " / " << to_string(rule)
+                  << ": rule cannot certify this instance\n";
+        continue;
+      }
+      Diagnoser diagnoser(graph, partition, options);
+
+      for (const std::string kind : {"table", "lazy", "fault-free"}) {
+        RowMeasurement m;
+        if (kind == "table") {
+          std::vector<TableOracle> oracles;
+          oracles.reserve(workload.syndromes.size());
+          for (const Syndrome& s : workload.syndromes) {
+            oracles.emplace_back(graph, s);
+          }
+          std::vector<const TableOracle*> ptrs;
+          ptrs.reserve(oracles.size());
+          for (const TableOracle& o : oracles) ptrs.push_back(&o);
+          m = measure(diagnoser, ptrs, reps);
+        } else if (kind == "lazy") {
+          std::vector<LazyOracle> oracles;
+          oracles.reserve(workload.faults.size());
+          for (std::size_t i = 0; i < workload.faults.size(); ++i) {
+            oracles.emplace_back(graph, workload.faults[i],
+                                 workload.behaviors[i], i);
+          }
+          std::vector<const LazyOracle*> ptrs;
+          ptrs.reserve(oracles.size());
+          for (const LazyOracle& o : oracles) ptrs.push_back(&o);
+          m = measure(diagnoser, ptrs, reps);
+        } else {
+          // One all-healthy oracle serves every item: diagnose() resets the
+          // counter per call and the loops are sequential.
+          const FaultFreeOracle oracle(graph);
+          std::vector<const FaultFreeOracle*> ptrs(config.syndromes, &oracle);
+          m = measure(diagnoser, ptrs, reps);
+        }
+
+        const auto rate = [&](double seconds) {
+          return seconds > 0 ? static_cast<double>(config.syndromes) / seconds
+                             : 0;
+        };
+        const double base_rate = rate(m.baseline_seconds);
+        const double erased_rate = rate(m.erased_seconds);
+        const double stat_rate = rate(m.static_seconds);
+        // The headline number: the devirtualised, word-granular path vs the
+        // virtual-dispatch baseline implementation, same binary.
+        const double speedup = base_rate > 0 ? stat_rate / base_rate : 0;
+        const bool identical =
+            m.identical_faults && m.identical_lookups && m.identical_accounting;
+        all_identical = all_identical && identical;
+
+        report.add_result({
+            {"topology", JsonValue::str(config.spec)},
+            {"family", JsonValue::str(topo->info().family)},
+            {"nodes", JsonValue::num(graph.num_nodes())},
+            {"delta", JsonValue::num(delta)},
+            {"rule", JsonValue::str(to_string(rule))},
+            {"oracle", JsonValue::str(kind)},
+            {"syndromes", JsonValue::num(config.syndromes)},
+            {"baseline_seconds", JsonValue::num(m.baseline_seconds)},
+            {"erased_seconds", JsonValue::num(m.erased_seconds)},
+            {"static_seconds", JsonValue::num(m.static_seconds)},
+            {"baseline_syn_per_sec", JsonValue::num(base_rate)},
+            {"erased_syn_per_sec", JsonValue::num(erased_rate)},
+            {"static_syn_per_sec", JsonValue::num(stat_rate)},
+            {"speedup_static_vs_virtual", JsonValue::num(speedup)},
+            {"total_lookups", JsonValue::num(m.total_lookups)},
+            {"succeeded", JsonValue::num(m.succeeded)},
+            {"identical_faults", JsonValue::boolean(m.identical_faults)},
+            {"identical_lookups", JsonValue::boolean(m.identical_lookups)},
+            {"identical_accounting",
+             JsonValue::boolean(m.identical_accounting)},
+        });
+
+        std::ostringstream spd;
+        spd << std::fixed << std::setprecision(2) << speedup << "x";
+        std::cout << std::left << std::setw(18) << config.spec << std::setw(13)
+                  << to_string(rule) << std::setw(12) << kind << std::right
+                  << std::setw(10) << static_cast<std::uint64_t>(base_rate)
+                  << std::setw(10) << static_cast<std::uint64_t>(erased_rate)
+                  << std::setw(10) << static_cast<std::uint64_t>(stat_rate)
+                  << std::setw(9) << spd.str() << std::setw(11)
+                  << (identical ? "yes" : "NO") << "\n";
+      }
+    }
+  }
+
+  if (!report.write_file(out_path)) return 1;
+  std::cout << "\nwrote " << out_path << " (" << report.num_results()
+            << " records)\n";
+  if (!all_identical) {
+    std::cerr << "FAIL: the static-dispatch path diverged from the "
+                 "virtual-dispatch path (faults, look-ups or accounting)\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mmdiag::bench
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_hotpath.json";
+  unsigned reps = 3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+      reps = 1;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--reps" && i + 1 < argc) {
+      const auto parsed = mmdiag::parse_unsigned(argv[++i], 1000);
+      if (!parsed) {
+        std::cerr << "bench_hotpath: --reps expects a decimal count, got '"
+                  << argv[i] << "'\n";
+        return 2;
+      }
+      reps = static_cast<unsigned>(*parsed);
+    } else {
+      std::cerr << "usage: bench_hotpath [--smoke] [--out FILE] [--reps R]\n";
+      return 2;
+    }
+  }
+  if (reps == 0) reps = 1;
+  return mmdiag::bench::run(smoke, out_path, reps);
+}

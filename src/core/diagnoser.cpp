@@ -1,9 +1,7 @@
 #include "core/diagnoser.hpp"
 
-#include <algorithm>
 #include <stdexcept>
-
-#include "util/timer.hpp"
+#include <typeinfo>
 
 namespace mmdiag {
 
@@ -63,7 +61,8 @@ Diagnoser::Diagnoser(const Graph& graph, CertifiedPartition partition,
         ") conflicts with the adopted partition's certified bound (" +
         std::to_string(partition_.delta) + "); pass 0 to adopt the bound");
   }
-  boundary_seen_.resize(graph.num_nodes());
+  // boundary_seen_ is sized lazily by diagnose_baseline — it is the only
+  // user, and production paths should not carry a per-node array for it.
 }
 
 Diagnoser::Diagnoser(std::shared_ptr<const Graph> graph,
@@ -72,14 +71,27 @@ Diagnoser::Diagnoser(std::shared_ptr<const Graph> graph,
   graph_owner_ = std::move(graph);
 }
 
+// Type-erased entry point: the same driver body instantiated on the base
+// class, so every look-up stays a virtual call. Kept un-downcast so the
+// benches and equivalence tests can measure the virtual path explicitly;
+// production call sites that hold a type-erased pointer use
+// diagnose_devirtualized instead.
 DiagnosisResult Diagnoser::diagnose(const SyndromeOracle& oracle) {
+  return diagnose_impl<SyndromeOracle>(oracle);
+}
+
+// The seed driver, preserved verbatim over the SetBuilder baseline runs —
+// the measured old-vs-new baseline. Do not modernise: its cost profile
+// (virtual per-pair look-ups, boundary collection by walking every member's
+// adjacency with dedup scratch and a final sort) is what the hot-path bench
+// compares against.
+DiagnosisResult Diagnoser::diagnose_baseline(const SyndromeOracle& oracle) {
   oracle.reset_lookups();
   const Timer solve_timer;
   DiagnosisResult out;
   const PartitionPlan& plan = *partition_.plan;
 
-  // Phase 1: probe seeds until a restricted run certifies. At most δ
-  // components can contain a fault, so δ+1 probes suffice when |F| <= δ.
+  // Phase 1: probe seeds until a restricted run certifies.
   const std::size_t max_probes =
       std::min<std::size_t>(plan.num_components(), std::size_t{delta_} + 1);
   std::uint32_t certified = 0;
@@ -87,7 +99,7 @@ DiagnosisResult Diagnoser::diagnose(const SyndromeOracle& oracle) {
   probe_builder_.set_stop_on_certify(options_.stop_probe_on_certify);
   for (std::size_t c = 0; c < max_probes; ++c) {
     ++out.probes;
-    const auto probe = probe_builder_.run_restricted(
+    const auto probe = probe_builder_.run_restricted_baseline(
         oracle, plan.seed_of(c), delta_, plan, static_cast<std::uint32_t>(c));
     if (probe.all_healthy) {
       certified = static_cast<std::uint32_t>(c);
@@ -107,18 +119,20 @@ DiagnosisResult Diagnoser::diagnose(const SyndromeOracle& oracle) {
   }
   out.certified_component = certified;
 
-  // Phase 2: unrestricted run from the certified seed. Every member is
-  // healthy (the seed is, and health propagates down the 0-tests) — no
-  // certificate is required, so the cheaper final rule applies.
-  const auto full = final_builder_.run(oracle, plan.seed_of(certified), delta_);
+  // Phase 2: unrestricted run from the certified seed.
+  const auto full =
+      final_builder_.run_baseline(oracle, plan.seed_of(certified), delta_);
   out.final_members = full.members.size();
   out.final_rounds = full.rounds;
 
-  // Phase 3: N(U_r) is exactly F (Theorem 1).
+  // Phase 3: N(U_r) is exactly F (Theorem 1) — by member-adjacency walk.
+  if (boundary_seen_.capacity() < graph_->num_nodes()) {
+    boundary_seen_.resize(graph_->num_nodes());
+  }
   boundary_seen_.clear();
   for (const Node u : full.members) {
     for (const Node v : graph_->neighbors(u)) {
-      if (!final_builder_.in_last_set(v) && boundary_seen_.insert(v)) {
+      if (!final_builder_.in_last_baseline_set(v) && boundary_seen_.insert(v)) {
         out.faults.push_back(v);
       }
     }
@@ -128,7 +142,6 @@ DiagnosisResult Diagnoser::diagnose(const SyndromeOracle& oracle) {
   out.diagnose_seconds = solve_timer.seconds();
 
   if (out.faults.size() > delta_) {
-    // Impossible under the |F| <= δ promise (N ⊆ F); report rather than lie.
     out.failure_reason = "boundary larger than delta (" +
                          std::to_string(out.faults.size()) + " > " +
                          std::to_string(delta_) +
@@ -138,6 +151,21 @@ DiagnosisResult Diagnoser::diagnose(const SyndromeOracle& oracle) {
   }
   out.success = true;
   return out;
+}
+
+DiagnosisResult diagnose_devirtualized(Diagnoser& diagnoser,
+                                       const SyndromeOracle& oracle) {
+  const std::type_info& type = typeid(oracle);
+  if (type == typeid(TableOracle)) {
+    return diagnoser.diagnose(static_cast<const TableOracle&>(oracle));
+  }
+  if (type == typeid(LazyOracle)) {
+    return diagnoser.diagnose(static_cast<const LazyOracle&>(oracle));
+  }
+  if (type == typeid(FaultFreeOracle)) {
+    return diagnoser.diagnose(static_cast<const FaultFreeOracle&>(oracle));
+  }
+  return diagnoser.diagnose(oracle);
 }
 
 }  // namespace mmdiag

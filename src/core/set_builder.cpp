@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "util/rng.hpp"
-
 namespace mmdiag {
 
 std::string to_string(ParentRule rule) {
@@ -36,26 +34,54 @@ ParentRule parent_rule_from_string(const std::string& name) {
 
 SetBuilder::SetBuilder(const Graph& g, ParentRule rule)
     : graph_(&g), rule_(rule) {
-  in_set_.resize(g.num_nodes());
-  is_contributor_.resize(g.num_nodes());
-  parent_of_.assign(g.num_nodes(), kNoNode);
+  const std::size_t n = g.num_nodes();
+  in_set_.resize(n);
+  is_contributor_.resize(n);
+  frontier_words_[0].assign((n + 63) / 64, 0u);
+  frontier_words_[1].assign((n + 63) / 64, 0u);
+  parent_pos_of_.assign(n, 0u);
+  // Baseline scratch is sized lazily by run_baseline_impl: production
+  // paths (engine lanes, batch lanes) never run the baseline, so they
+  // should not carry its per-node arrays.
 }
 
+// Type-erased entry points: one instantiation of the same run_impl on the
+// base class, where every look-up goes through the virtual test_impl. Kept
+// (rather than downcasting) so the dispatch benches and the equivalence
+// suite can measure/compare the virtual path in the same binary.
 SetBuilderResult SetBuilder::run(const SyndromeOracle& oracle, Node u0,
                                  unsigned delta) {
-  return run_impl(oracle, u0, delta, nullptr, 0);
+  return run_impl<SyndromeOracle>(oracle, u0, delta, nullptr, 0);
 }
 
 SetBuilderResult SetBuilder::run_restricted(const SyndromeOracle& oracle,
                                             Node u0, unsigned delta,
                                             const PartitionPlan& plan,
                                             std::uint32_t comp) {
-  return run_impl(oracle, u0, delta, &plan, comp);
+  return run_impl<SyndromeOracle>(oracle, u0, delta, &plan, comp);
 }
 
-SetBuilderResult SetBuilder::run_impl(const SyndromeOracle& oracle, Node u0,
-                                      unsigned delta, const PartitionPlan* plan,
-                                      std::uint32_t comp) {
+SetBuilderResult SetBuilder::run_baseline(const SyndromeOracle& oracle,
+                                          Node u0, unsigned delta) {
+  return run_baseline_impl(oracle, u0, delta, nullptr, 0);
+}
+
+SetBuilderResult SetBuilder::run_restricted_baseline(
+    const SyndromeOracle& oracle, Node u0, unsigned delta,
+    const PartitionPlan& plan, std::uint32_t comp) {
+  return run_baseline_impl(oracle, u0, delta, &plan, comp);
+}
+
+// The seed implementation, preserved verbatim as the measured baseline for
+// bench_hotpath's old-vs-new comparison and as a third voice in the
+// differential tests: per-pair virtual look-ups, stamp-array membership, a
+// sorted vector frontier re-sorted every round, parent positions re-searched
+// via Graph::neighbor_position, and the round-1 position vector allocated
+// per run. Do not "fix" its performance — its cost profile is the datum.
+SetBuilderResult SetBuilder::run_baseline_impl(const SyndromeOracle& oracle,
+                                               Node u0, unsigned delta,
+                                               const PartitionPlan* plan,
+                                               std::uint32_t comp) {
   const Graph& g = *graph_;
   if (u0 >= g.num_nodes()) throw std::invalid_argument("Set_Builder: bad seed");
   if (plan != nullptr && plan->component_of(u0) != comp) {
@@ -65,22 +91,27 @@ SetBuilderResult SetBuilder::run_impl(const SyndromeOracle& oracle, Node u0,
     return plan == nullptr || plan->component_of(v) == comp;
   };
 
-  in_set_.clear();
-  is_contributor_.clear();
-  frontier_.clear();
-  next_frontier_.clear();
+  if (baseline_parent_of_.size() < g.num_nodes()) {
+    baseline_in_set_.resize(g.num_nodes());
+    baseline_contributor_.resize(g.num_nodes());
+    baseline_parent_of_.assign(g.num_nodes(), kNoNode);
+  }
+  baseline_in_set_.clear();
+  baseline_contributor_.clear();
+  baseline_frontier_.clear();
+  baseline_next_frontier_.clear();
 
   SetBuilderResult result;
   result.members.push_back(u0);
   result.parent.push_back(kNoNode);
-  in_set_.insert(u0);
-  parent_of_[u0] = kNoNode;
+  baseline_in_set_.insert(u0);
+  baseline_parent_of_[u0] = kNoNode;
 
   auto add_member = [&](Node v, Node parent) {
-    parent_of_[v] = parent;
+    baseline_parent_of_[v] = parent;
     result.members.push_back(v);
     result.parent.push_back(parent);
-    next_frontier_.push_back(v);
+    baseline_next_frontier_.push_back(v);
   };
 
   // ---- Round 1: U_1 from u0's pair tests. ----------------------------------
@@ -97,64 +128,68 @@ SetBuilderResult SetBuilder::run_impl(const SyndromeOracle& oracle, Node u0,
         const Node va = adj[pos[a]];
         const Node vb = adj[pos[b]];
         // Once both endpoints are members the test adds no information.
-        if (in_set_.contains(va) && in_set_.contains(vb)) continue;
+        if (baseline_in_set_.contains(va) && baseline_in_set_.contains(vb)) {
+          continue;
+        }
         if (!oracle.test(u0, pos[a], pos[b])) {
-          if (in_set_.insert(va)) add_member(va, u0);
-          if (in_set_.insert(vb)) add_member(vb, u0);
+          if (baseline_in_set_.insert(va)) add_member(va, u0);
+          if (baseline_in_set_.insert(vb)) add_member(vb, u0);
         }
       }
     }
-    if (!next_frontier_.empty()) {
-      is_contributor_.insert(u0);
+    if (!baseline_next_frontier_.empty()) {
+      baseline_contributor_.insert(u0);
       result.contributors = 1;
       result.rounds = 1;
     }
   }
 
   // ---- Rounds i >= 2. -------------------------------------------------------
-  while (!next_frontier_.empty()) {
+  while (!baseline_next_frontier_.empty()) {
     if (result.contributors > delta) {
       result.all_healthy = true;
       if (stop_on_certify_) break;
     }
-    std::swap(frontier_, next_frontier_);
-    next_frontier_.clear();
+    std::swap(baseline_frontier_, baseline_next_frontier_);
+    baseline_next_frontier_.clear();
     // Process frontier nodes in ascending id order: under kLeastFirst this
     // realises the paper's "least contributing node" parent choice.
-    std::sort(frontier_.begin(), frontier_.end());
+    std::sort(baseline_frontier_.begin(), baseline_frontier_.end());
 
     if (rule_ == ParentRule::kLeastFirst) {
-      for (const Node u : frontier_) {
-        const int parent_pos = g.neighbor_position(u, parent_of_[u]);
+      for (const Node u : baseline_frontier_) {
+        const int parent_pos = g.neighbor_position(u, baseline_parent_of_[u]);
         const auto adj = g.neighbors(u);
         bool contributed = false;
         for (unsigned p = 0; p < adj.size(); ++p) {
           const Node v = adj[p];
-          if (static_cast<int>(p) == parent_pos || in_set_.contains(v) ||
-              !eligible(v)) {
+          if (static_cast<int>(p) == parent_pos ||
+              baseline_in_set_.contains(v) || !eligible(v)) {
             continue;
           }
           if (!oracle.test(u, p, static_cast<unsigned>(parent_pos))) {
-            in_set_.insert(v);
+            baseline_in_set_.insert(v);
             add_member(v, u);
             contributed = true;
           }
         }
-        if (contributed && is_contributor_.insert(u)) ++result.contributors;
+        if (contributed && baseline_contributor_.insert(u)) {
+          ++result.contributors;
+        }
       }
     } else {  // kSpread / kLeastSync: joins deferred to the round end
-      zero_edges_.clear();
-      for (const Node u : frontier_) {
-        const int parent_pos = g.neighbor_position(u, parent_of_[u]);
+      baseline_zero_edges_.clear();
+      for (const Node u : baseline_frontier_) {
+        const int parent_pos = g.neighbor_position(u, baseline_parent_of_[u]);
         const auto adj = g.neighbors(u);
         for (unsigned p = 0; p < adj.size(); ++p) {
           const Node v = adj[p];
-          if (static_cast<int>(p) == parent_pos || in_set_.contains(v) ||
-              !eligible(v)) {
+          if (static_cast<int>(p) == parent_pos ||
+              baseline_in_set_.contains(v) || !eligible(v)) {
             continue;
           }
           if (!oracle.test(u, p, static_cast<unsigned>(parent_pos))) {
-            zero_edges_.emplace_back(u, v);
+            baseline_zero_edges_.emplace_back(u, v);
           }
         }
       }
@@ -162,15 +197,17 @@ SetBuilderResult SetBuilder::run_impl(const SyndromeOracle& oracle, Node u0,
         // Pass A: one child per distinct parent, scanning parents in
         // ascending order (zero_edges_ is grouped by u in that order).
         std::size_t i = 0;
-        while (i < zero_edges_.size()) {
-          const Node u = zero_edges_[i].first;
+        while (i < baseline_zero_edges_.size()) {
+          const Node u = baseline_zero_edges_[i].first;
           bool claimed = false;
           std::size_t j = i;
-          for (; j < zero_edges_.size() && zero_edges_[j].first == u; ++j) {
-            const Node v = zero_edges_[j].second;
-            if (!claimed && in_set_.insert(v)) {
+          for (; j < baseline_zero_edges_.size() &&
+                 baseline_zero_edges_[j].first == u;
+               ++j) {
+            const Node v = baseline_zero_edges_[j].second;
+            if (!claimed && baseline_in_set_.insert(v)) {
               add_member(v, u);
-              if (is_contributor_.insert(u)) ++result.contributors;
+              if (baseline_contributor_.insert(u)) ++result.contributors;
               claimed = true;
             }
           }
@@ -178,9 +215,8 @@ SetBuilderResult SetBuilder::run_impl(const SyndromeOracle& oracle, Node u0,
         }
       } else if (rule_ == ParentRule::kHashSpread) {
         // Order candidates so the first edge per child carries the parent
-        // minimising mix64(parent, child) — the coordination-free spread a
-        // distributed joiner can compute from its offers alone.
-        std::sort(zero_edges_.begin(), zero_edges_.end(),
+        // minimising mix64(parent, child).
+        std::sort(baseline_zero_edges_.begin(), baseline_zero_edges_.end(),
                   [](const std::pair<Node, Node>& a,
                      const std::pair<Node, Node>& b) {
                     if (a.second != b.second) return a.second < b.second;
@@ -192,15 +228,15 @@ SetBuilderResult SetBuilder::run_impl(const SyndromeOracle& oracle, Node u0,
       }
       // Remaining candidates (all of them under kLeastSync / kHashSpread)
       // go to the first admitting parent in edge order.
-      for (const auto& [u, v] : zero_edges_) {
-        if (in_set_.insert(v)) {
+      for (const auto& [u, v] : baseline_zero_edges_) {
+        if (baseline_in_set_.insert(v)) {
           add_member(v, u);
-          if (is_contributor_.insert(u)) ++result.contributors;
+          if (baseline_contributor_.insert(u)) ++result.contributors;
         }
       }
     }
 
-    if (!next_frontier_.empty()) ++result.rounds;
+    if (!baseline_next_frontier_.empty()) ++result.rounds;
   }
 
   if (result.contributors > delta) result.all_healthy = true;

@@ -103,7 +103,7 @@ DiagnosisResult DiagnosisEngine::diagnose(const std::string& spec,
                    options_.diagnoser.validate_all_components, &reused);
   Diagnoser diagnoser(graph_handle(cal), cal->partition, options_.diagnoser);
   const double setup_seconds = setup_timer.seconds();
-  DiagnosisResult result = diagnoser.diagnose(oracle);
+  DiagnosisResult result = diagnose_devirtualized(diagnoser, oracle);
   result.calibration_reused = reused;
   result.setup_seconds = setup_seconds;
   return result;
@@ -149,7 +149,7 @@ std::vector<DiagnosisResult> DiagnosisEngine::serve(
                  .first;
       }
       const double setup_seconds = setup_timer.seconds();
-      out = it->second.diagnoser->diagnose(*request.oracle);
+      out = diagnose_devirtualized(*it->second.diagnoser, *request.oracle);
       out.calibration_reused = reused;
       out.setup_seconds = setup_seconds;
     } catch (const std::exception& e) {

@@ -71,11 +71,42 @@ std::optional<DiagnosisResult> run_config(DiffReport& report,
   try {
     Diagnoser diagnoser(graph, partition, options);
     const LazyOracle oracle(graph, faults, c.behavior, c.behavior_seed);
-    return diagnoser.diagnose(oracle);
+    // Deliberately the type-erased path: the differ's reference runs with
+    // virtual dispatch, and the dispatch check below races the baseline
+    // and statically-dispatched paths against it.
+    return diagnoser.diagnose(static_cast<const SyndromeOracle&>(oracle));
   } catch (const std::exception& e) {
     report.divergences.push_back(
         {config, std::string("driver threw: ") + e.what()});
     return std::nullopt;
+  }
+}
+
+/// Compares every accounted field of two results; any mismatch between
+/// dispatch paths of the same configuration is a hot-path bug by
+/// definition (same algorithm, same oracle, same partition).
+void check_dispatch_identical(DiffReport& report, const std::string& config,
+                              const DiagnosisResult& reference,
+                              const DiagnosisResult& other) {
+  // failure_reason is part of the comparison: on a beyond-delta boundary
+  // failure the fault list is cleared and the boundary size survives only
+  // in the message, so dropping it would blind this guard to a phase-3
+  // divergence between dispatch paths.
+  if (other.success != reference.success ||
+      other.faults != reference.faults ||
+      other.failure_reason != reference.failure_reason ||
+      other.lookups != reference.lookups ||
+      other.probes != reference.probes ||
+      other.certified_component != reference.certified_component ||
+      other.final_members != reference.final_members ||
+      other.final_rounds != reference.final_rounds) {
+    report.divergences.push_back(
+        {config, "not bit-identical to the virtual-dispatch reference "
+                 "(faults " +
+                     join_nodes(other.faults) + " vs " +
+                     join_nodes(reference.faults) + ", lookups " +
+                     std::to_string(other.lookups) + " vs " +
+                     std::to_string(reference.lookups) + ")"});
   }
 }
 
@@ -174,6 +205,32 @@ DiffReport run_differential(FuzzContext& ctx, const FuzzCase& c,
       report, "seq-spread", s.graph(), s.spread->partition, spread_options, c, faults);
   if (reference) {
     check_result(report, "seq-spread", *reference, truth, c);
+  }
+
+  // Dispatch equivalence: the statically-dispatched hot path (concrete
+  // LazyOracle overload) and the preserved baseline implementation must be
+  // bit-identical — faults, look-ups, probes, component, rounds — to the
+  // virtual reference above. This is the fuzz-side guard on the hot-path
+  // restructuring; tests/dispatch_equiv_test.cpp is the deterministic one.
+  if (reference) {
+    try {
+      Diagnoser diagnoser(s.graph(), s.spread->partition, spread_options);
+      const LazyOracle oracle(s.graph(), faults, c.behavior, c.behavior_seed);
+      check_dispatch_identical(report, "seq-spread-static", *reference,
+                               diagnoser.diagnose(oracle));
+    } catch (const std::exception& e) {
+      report.divergences.push_back(
+          {"seq-spread-static", std::string("driver threw: ") + e.what()});
+    }
+    try {
+      Diagnoser diagnoser(s.graph(), s.spread->partition, spread_options);
+      const LazyOracle oracle(s.graph(), faults, c.behavior, c.behavior_seed);
+      check_dispatch_identical(report, "seq-spread-baseline", *reference,
+                               diagnoser.diagnose_baseline(oracle));
+    } catch (const std::exception& e) {
+      report.divergences.push_back(
+          {"seq-spread-baseline", std::string("driver threw: ") + e.what()});
+    }
   }
 
   // The verifying wrapper owns the beyond-delta safety net: it must return

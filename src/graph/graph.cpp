@@ -22,6 +22,30 @@ Graph::Graph(std::vector<EdgeIndex> offsets, std::vector<Node> neighbors)
       throw std::invalid_argument("Graph: adjacency not sorted");
     }
   }
+
+  // Mirror positions in one O(E) counting pass: slots of v fill in ascending
+  // u because the outer loop visits u ascending and adj(v) is sorted, so the
+  // k-th time v is named across the sweep, the namer sits at position k of
+  // adj(v). The pass doubles as the symmetry check this class's contract
+  // ("undirected") implies: the hot path trusts mirror_position() where the
+  // old neighbor_position() search failed safely, so an asymmetric or
+  // out-of-range CSR must be rejected here, not mis-diagnosed later.
+  mirror_pos_.assign(neighbors_.size(), 0);
+  std::vector<std::uint32_t> cursor(n, 0);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (EdgeIndex e = offsets_[u]; e < offsets_[u + 1]; ++e) {
+      const Node v = neighbors_[e];
+      if (v >= n) {
+        throw std::invalid_argument("Graph: neighbour id out of range");
+      }
+      const std::uint32_t q = cursor[v]++;
+      if (offsets_[v] + q >= offsets_[v + 1] ||
+          neighbors_[offsets_[v] + q] != static_cast<Node>(u)) {
+        throw std::invalid_argument("Graph: adjacency not symmetric");
+      }
+      mirror_pos_[e] = q;
+    }
+  }
 }
 
 int Graph::neighbor_position(Node u, Node v) const noexcept {

@@ -46,17 +46,36 @@ class Graph {
   /// Position of v in u's adjacency list, or -1 if absent. O(log Δ).
   [[nodiscard]] int neighbor_position(Node u, Node v) const noexcept;
 
+  /// Position of u in the adjacency list of its p-th neighbour, O(1) from a
+  /// table precomputed at construction (an O(E) counting pass). This is the
+  /// hot-path replacement for neighbor_position(v, u): Set_Builder carries
+  /// it in every frontier entry instead of re-searching per round. Only
+  /// meaningful on symmetric (undirected) adjacency, which every topology
+  /// builder emits and build_graph_from_edges/generator enforce.
+  [[nodiscard]] unsigned mirror_position(Node u, unsigned p) const noexcept {
+    return mirror_pos_[offsets_[u] + p];
+  }
+
+  /// All mirror positions of u, aligned with neighbors(u).
+  [[nodiscard]] std::span<const std::uint32_t> mirror_positions(Node u) const noexcept {
+    if (offsets_.size() <= 1) return {};
+    return {mirror_pos_.data() + offsets_[u],
+            mirror_pos_.data() + offsets_[u + 1]};
+  }
+
   [[nodiscard]] bool has_edge(Node u, Node v) const noexcept {
     return neighbor_position(u, v) >= 0;
   }
 
   [[nodiscard]] std::uint64_t memory_bytes() const noexcept {
-    return offsets_.size() * sizeof(EdgeIndex) + neighbors_.size() * sizeof(Node);
+    return offsets_.size() * sizeof(EdgeIndex) + neighbors_.size() * sizeof(Node) +
+           mirror_pos_.size() * sizeof(std::uint32_t);
   }
 
  private:
   std::vector<EdgeIndex> offsets_;
   std::vector<Node> neighbors_;
+  std::vector<std::uint32_t> mirror_pos_;  // aligned with neighbors_
   unsigned max_degree_ = 0;
   unsigned min_degree_ = 0;
 };

@@ -7,8 +7,10 @@
 // demand in the machine).
 #pragma once
 
+#include <concepts>
 #include <cstdint>
 #include <memory>
+#include <type_traits>
 
 #include "graph/graph.hpp"
 #include "mm/behavior.hpp"
@@ -31,6 +33,11 @@ class SyndromeOracle {
   [[nodiscard]] std::uint64_t lookups() const noexcept { return lookups_; }
   void reset_lookups() const noexcept { lookups_ = 0; }
 
+  /// Bulk accounting for word-granular readers: a caller that served `n`
+  /// logical look-ups from one packed row read records them here so the
+  /// counter stays bit-identical to having called test() n times.
+  void add_lookups(std::uint64_t n) const noexcept { lookups_ += n; }
+
   [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
 
  protected:
@@ -47,6 +54,17 @@ class TableOracle final : public SyndromeOracle {
  public:
   TableOracle(const Graph& g, const Syndrome& syndrome)
       : SyndromeOracle(g), syndrome_(&syndrome) {}
+
+  /// Raw word-level row read: bit p = s_u(i, p) for every position p != i
+  /// of u (Syndrome::row_bits). Deliberately *uncounted* — a row read is a
+  /// physical access pattern, not a batch of logical look-ups. Callers
+  /// account exactly the pairs they consult via add_lookups(), so the
+  /// counter stays bit-identical to the per-pair test() path (§6's look-up
+  /// complexity is about results consulted, not words touched).
+  /// Requires degree(u) <= 64.
+  [[nodiscard]] std::uint64_t row_bits(Node u, unsigned i) const noexcept {
+    return syndrome_->row_bits(u, i);
+  }
 
  protected:
   [[nodiscard]] bool test_impl(Node u, unsigned i, unsigned j) const override {
@@ -95,5 +113,32 @@ class FaultFreeOracle final : public SyndromeOracle {
     return false;
   }
 };
+
+// ---------------------------------------------------------------------------
+// Static-dispatch concepts. SetBuilder/Diagnoser template their hot paths on
+// the concrete oracle type: a final subclass lets the compiler devirtualise
+// and inline test_impl, so every look-up is a plain counter bump plus a
+// direct read instead of a virtual call. The virtual SyndromeOracle
+// signatures remain the type-erased entry points; both instantiations run
+// the same driver code, so results and look-up counts are bit-identical
+// (asserted per family/rule/oracle by tests/dispatch_equiv_test.cpp).
+// ---------------------------------------------------------------------------
+
+/// Oracle types eligible for the statically-dispatched hot path: concrete
+/// (final) SyndromeOracle implementations whose dynamic type the call site
+/// knows exactly. The non-final base deliberately fails this concept so a
+/// `const SyndromeOracle&` argument binds to the virtual-dispatch overloads.
+template <class O>
+concept StaticOracle =
+    std::derived_from<O, SyndromeOracle> && std::is_final_v<O>;
+
+/// Static oracles additionally serving packed syndrome rows (TableOracle):
+/// the driver reads one 64-bit word per (node, pivot) row and accounts the
+/// consulted pairs through add_lookups.
+template <class O>
+concept WordRowOracle = StaticOracle<O> &&
+    requires(const O& o, Node u, unsigned i) {
+      { o.row_bits(u, i) } -> std::same_as<std::uint64_t>;
+    };
 
 }  // namespace mmdiag

@@ -11,7 +11,8 @@ Syndrome::Syndrome(const Graph& g) {
     offsets_[u] = total;
     const std::uint64_t d = g.degree(static_cast<Node>(u));
     degree_[u] = static_cast<std::uint32_t>(d);
-    total += d * (d - 1) / 2;
+    total += d * d;
+    logical_tests_ += d * (d - 1) / 2;
   }
   offsets_[n] = total;
   bits_ = BitVec(total);

@@ -2,7 +2,13 @@
 //
 // For a node u of degree d there are d(d-1)/2 unordered neighbour pairs;
 // s_u(v,w) is addressed by the *positions* of v and w in u's sorted
-// adjacency list, packed into a triangular bit block per node.
+// adjacency list. Storage is a full d×d bit matrix per node (both (i,j) and
+// (j,i) carry the result, the diagonal stays 0): ~2× the bits of the
+// minimal triangular packing, but every row s_u(i, ·) is one contiguous
+// d-bit run, so the diagnosis hot path reads a whole row as a single
+// word-level extract instead of d strided bit gathers. total_tests() keeps
+// reporting the logical count Σ d(d-1)/2 — the layout is an access-path
+// choice, not a change to what the syndrome contains.
 #pragma once
 
 #include <cstdint>
@@ -26,11 +32,27 @@ class Syndrome {
   }
   void set_test(Node u, unsigned i, unsigned j, bool value) noexcept {
     bits_.assign(pair_index(u, i, j), value);
+    bits_.assign(pair_index(u, j, i), value);
   }
 
-  /// Total number of test results stored: Σ_u d(u)(d(u)-1)/2.
-  [[nodiscard]] std::uint64_t total_tests() const noexcept { return bits_.size(); }
-  [[nodiscard]] std::uint64_t ones() const noexcept { return bits_.count(); }
+  /// The whole row s_u(i, ·) as one packed word: bit p = s_u(i, p) for every
+  /// position p != i of u (bit i is 0). One contiguous extract — at most
+  /// two word loads. Requires degree(u) <= 64 — callers fall back to
+  /// test() beyond that.
+  [[nodiscard]] std::uint64_t row_bits(Node u, unsigned i) const noexcept {
+    const std::uint64_t d = degree_[u];
+    if (d == 0) return 0;
+    return bits_.extract(offsets_[u] + i * d, static_cast<unsigned>(d));
+  }
+
+  /// Logical number of test results stored: Σ_u d(u)(d(u)-1)/2 (each
+  /// unordered pair counted once, however the bits are laid out).
+  [[nodiscard]] std::uint64_t total_tests() const noexcept {
+    return logical_tests_;
+  }
+  [[nodiscard]] std::uint64_t ones() const noexcept {
+    return bits_.count() / 2;  // every result is mirrored across the diagonal
+  }
   [[nodiscard]] std::uint64_t memory_bytes() const noexcept {
     return bits_.memory_bytes() + offsets_.size() * sizeof(std::uint64_t) +
            degree_.size() * sizeof(std::uint32_t);
@@ -38,18 +60,13 @@ class Syndrome {
 
  private:
   [[nodiscard]] std::uint64_t pair_index(Node u, unsigned i, unsigned j) const noexcept {
-    if (i > j) {
-      const unsigned t = i;
-      i = j;
-      j = t;
-    }
-    const std::uint64_t d = degree_[u];
-    // Triangular index of (i,j), i<j, within u's block.
-    return offsets_[u] + i * d - (std::uint64_t{i} * (i + 1)) / 2 + (j - i - 1);
+    // Row-major within u's d×d block.
+    return offsets_[u] + std::uint64_t{i} * degree_[u] + j;
   }
 
   std::vector<std::uint64_t> offsets_;  // per-node block start
   std::vector<std::uint32_t> degree_;
+  std::uint64_t logical_tests_ = 0;
   BitVec bits_;
 };
 

@@ -38,6 +38,21 @@ class BitVec {
     for (auto& w : words_) w = 0;
   }
 
+  /// Word-level read: the `len` (1..64) bits starting at bit `start`,
+  /// packed little-endian into the low bits of the result. At most two
+  /// word loads, so a whole syndrome row costs what one get() used to.
+  /// Requires start + len <= size().
+  [[nodiscard]] std::uint64_t extract(std::uint64_t start, unsigned len) const noexcept {
+    const std::uint64_t w = start >> 6;
+    const unsigned off = static_cast<unsigned>(start & 63);
+    std::uint64_t bits = words_[w] >> off;
+    if (off != 0 && w + 1 < words_.size()) {
+      bits |= words_[w + 1] << (64 - off);
+    }
+    if (len < 64) bits &= (std::uint64_t{1} << len) - 1;
+    return bits;
+  }
+
   [[nodiscard]] std::uint64_t count() const noexcept;
 
   /// Bytes of heap storage (used by memory accounting in benches).
@@ -48,6 +63,51 @@ class BitVec {
  private:
   std::uint64_t size_ = 0;
   std::vector<std::uint64_t> words_;
+};
+
+/// A node set packed one bit per element — 512 bytes per 4096 nodes, so
+/// membership tests in hot loops stay L1-resident where a stamp array would
+/// thrash (4 bytes per element). clear() zeroes only the words insert()
+/// dirtied, so sparse uses (partition probes touching one component of a
+/// huge graph) stay O(|set|), not O(n). Membership survives until the next
+/// clear(), exactly like StampSet.
+class DirtyBitset {
+ public:
+  DirtyBitset() = default;
+
+  void resize(std::size_t n) {
+    words_.assign((n + 63) / 64, 0u);
+    dirty_.clear();
+    dirty_.reserve(words_.size());
+  }
+
+  void clear() noexcept {
+    for (const std::uint32_t w : dirty_) words_[w] = 0;
+    dirty_.clear();
+  }
+
+  [[nodiscard]] bool contains(Node v) const noexcept {
+    return (words_[v >> 6] >> (v & 63)) & 1u;
+  }
+
+  /// Returns true if v was newly inserted.
+  bool insert(Node v) noexcept {
+    const std::uint32_t w = static_cast<std::uint32_t>(v >> 6);
+    const std::uint64_t bit = std::uint64_t{1} << (v & 63);
+    const std::uint64_t word = words_[w];
+    if (word & bit) return false;
+    if (word == 0) dirty_.push_back(w);
+    words_[w] = word | bit;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return words_.size() * 64;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::vector<std::uint32_t> dirty_;  // indices of nonzero words
 };
 
 /// A set over [0, n) supporting O(1) insert/lookup and O(1) bulk clear via

@@ -1,0 +1,224 @@
+// Dispatch-equivalence regression suite: the statically-dispatched hot
+// path, the type-erased virtual entry, and the preserved baseline
+// implementation must report bit-identical diagnoses — faults, rounds,
+// contributors, probes AND look-up counts — for every registry family,
+// all four parent rules, and all three shipped oracles. This is the
+// contract that lets bench_hotpath call its speedup "the same algorithm,
+// faster": any divergence here is a correctness bug in the hot path, not
+// a measurement artefact.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/certified_partition.hpp"
+#include "core/diagnoser.hpp"
+#include "mm/behavior.hpp"
+#include "mm/fault_set.hpp"
+#include "mm/injector.hpp"
+#include "mm/oracle.hpp"
+#include "mm/syndrome.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace mmdiag {
+namespace {
+
+/// One certifiable (spec, delta) pair per registry family — the explicit
+/// deltas keep small instances inside their §5 validity window.
+struct FamilyCase {
+  const char* spec;
+  unsigned delta;
+};
+constexpr FamilyCase kEveryFamily[] = {
+    {"hypercube 5", 3},          {"crossed_cube 5", 3},
+    {"twisted_cube 5", 3},       {"folded_hypercube 5", 3},
+    {"enhanced_hypercube 5 2", 3}, {"augmented_cube 6", 3},
+    {"shuffle_cube 6", 3},       {"twisted_n_cube 5", 3},
+    {"kary_ncube 2 6", 3},       {"augmented_kary_ncube 3 4", 3},
+    {"star 4", 3},               {"nk_star 5 3", 4},
+    {"pancake 4", 3},            {"arrangement 5 3", 4},
+};
+
+void expect_bit_identical(const DiagnosisResult& expected,
+                          const DiagnosisResult& actual,
+                          const std::string& what) {
+  ASSERT_EQ(expected.success, actual.success) << what;
+  EXPECT_EQ(expected.faults, actual.faults) << what;
+  EXPECT_EQ(expected.failure_reason, actual.failure_reason) << what;
+  EXPECT_EQ(expected.lookups, actual.lookups) << what;
+  EXPECT_EQ(expected.probes, actual.probes) << what;
+  EXPECT_EQ(expected.certified_component, actual.certified_component) << what;
+  EXPECT_EQ(expected.final_members, actual.final_members) << what;
+  EXPECT_EQ(expected.final_rounds, actual.final_rounds) << what;
+}
+
+/// Runs one oracle through all three dispatch paths of one Diagnoser and
+/// cross-checks them (baseline is the expected voice: it is the seed
+/// implementation).
+template <class O>
+void check_all_paths(Diagnoser& diagnoser, const O& oracle,
+                     const std::string& what) {
+  const DiagnosisResult baseline = diagnoser.diagnose_baseline(oracle);
+  const DiagnosisResult erased =
+      diagnoser.diagnose(static_cast<const SyndromeOracle&>(oracle));
+  const DiagnosisResult statically = diagnoser.diagnose(oracle);
+  expect_bit_identical(baseline, erased, what + " [erased]");
+  expect_bit_identical(baseline, statically, what + " [static]");
+  const DiagnosisResult dispatched = diagnose_devirtualized(diagnoser, oracle);
+  expect_bit_identical(baseline, dispatched, what + " [devirtualized]");
+}
+
+TEST(DispatchEquivalence, EveryFamilyEveryRuleEveryOracle) {
+  for (const FamilyCase& family : kEveryFamily) {
+    SCOPED_TRACE(family.spec);
+    test::Instance inst(family.spec);
+    const std::size_t n = inst.graph.num_nodes();
+    for (const ParentRule rule : kAllParentRules) {
+      CertifiedPartition partition;
+      try {
+        partition = find_certified_partition(*inst.topo, inst.graph,
+                                             family.delta, rule);
+      } catch (const DiagnosisUnsupportedError&) {
+        continue;  // this rule cannot certify this instance — nothing to race
+      }
+      DiagnoserOptions options;
+      options.rule = rule;
+      Diagnoser diagnoser(inst.graph, partition, options);
+      const std::string tag =
+          std::string(family.spec) + "/" + to_string(rule);
+
+      check_all_paths(diagnoser, FaultFreeOracle(inst.graph),
+                      tag + "/fault-free");
+
+      for (const std::size_t num_faults :
+           {std::size_t{1}, std::size_t{family.delta}}) {
+        for (const FaultyBehavior behavior :
+             {FaultyBehavior::kRandom, FaultyBehavior::kAntiDiagnostic}) {
+          Rng rng(0xD15BA7C4 ^ (num_faults * 977) ^
+                  static_cast<unsigned>(rule));
+          const FaultSet faults(n, inject_uniform(n, num_faults, rng));
+          const std::string what = tag + "/faults=" +
+                                   std::to_string(num_faults) + "/" +
+                                   to_string(behavior);
+          check_all_paths(
+              diagnoser,
+              LazyOracle(inst.graph, faults, behavior, /*seed=*/42),
+              what + "/lazy");
+          const Syndrome syndrome =
+              generate_syndrome(inst.graph, faults, behavior, /*seed=*/42);
+          check_all_paths(diagnoser, TableOracle(inst.graph, syndrome),
+                          what + "/table");
+        }
+      }
+    }
+  }
+}
+
+// SetBuilder-level equivalence, including restricted runs (the probe shape)
+// and the look-up counter after each run.
+TEST(DispatchEquivalence, SetBuilderRunsMatchAcrossPaths) {
+  for (const FamilyCase& family : {FamilyCase{"hypercube 6", 4},
+                                   FamilyCase{"star 5", 4},
+                                   FamilyCase{"kary_ncube 3 4", 4}}) {
+    SCOPED_TRACE(family.spec);
+    test::Instance inst(family.spec);
+    const std::size_t n = inst.graph.num_nodes();
+    Rng rng(99);
+    const FaultSet faults(n, inject_uniform(n, family.delta, rng));
+    const Syndrome syndrome =
+        generate_syndrome(inst.graph, faults, FaultyBehavior::kRandom, 7);
+    const TableOracle table(inst.graph, syndrome);
+    Node seed = 0;
+    while (faults.is_faulty(seed)) ++seed;
+
+    for (const ParentRule rule : kAllParentRules) {
+      SCOPED_TRACE(to_string(rule));
+      SetBuilder builder(inst.graph, rule);
+
+      table.reset_lookups();
+      const auto baseline = builder.run_baseline(table, seed, family.delta);
+      const std::uint64_t baseline_lookups = table.lookups();
+
+      table.reset_lookups();
+      const auto erased = builder.run(
+          static_cast<const SyndromeOracle&>(table), seed, family.delta);
+      const std::uint64_t erased_lookups = table.lookups();
+
+      table.reset_lookups();
+      const auto statically = builder.run(table, seed, family.delta);
+      const std::uint64_t static_lookups = table.lookups();
+
+      for (const auto* r : {&erased, &statically}) {
+        EXPECT_EQ(baseline.all_healthy, r->all_healthy);
+        EXPECT_EQ(baseline.rounds, r->rounds);
+        EXPECT_EQ(baseline.contributors, r->contributors);
+        EXPECT_EQ(baseline.members, r->members);
+        EXPECT_EQ(baseline.parent, r->parent);
+      }
+      EXPECT_EQ(baseline_lookups, erased_lookups);
+      EXPECT_EQ(baseline_lookups, static_lookups);
+      for (Node v = 0; v < n; ++v) {
+        EXPECT_EQ(builder.in_last_set(v), builder.in_last_baseline_set(v));
+      }
+    }
+
+    // Restricted runs over every component of the finest certifiable plan.
+    CertifiedPartition partition;
+    try {
+      partition = find_certified_partition(*inst.topo, inst.graph,
+                                           family.delta, ParentRule::kSpread);
+    } catch (const DiagnosisUnsupportedError&) {
+      continue;  // no certifiable plan at this bound — unrestricted covered
+    }
+    const PartitionPlan& plan = *partition.plan;
+    SetBuilder builder(inst.graph, ParentRule::kSpread);
+    for (std::uint32_t c = 0;
+         c < std::min<std::size_t>(plan.num_components(), 4); ++c) {
+      table.reset_lookups();
+      const auto baseline = builder.run_restricted_baseline(
+          table, plan.seed_of(c), family.delta, plan, c);
+      const std::uint64_t baseline_lookups = table.lookups();
+      table.reset_lookups();
+      const auto statically = builder.run_restricted(
+          table, plan.seed_of(c), family.delta, plan, c);
+      EXPECT_EQ(baseline.members, statically.members) << "component " << c;
+      EXPECT_EQ(baseline.parent, statically.parent) << "component " << c;
+      EXPECT_EQ(baseline.contributors, statically.contributors);
+      EXPECT_EQ(baseline_lookups, table.lookups()) << "component " << c;
+    }
+  }
+}
+
+// The word-row view must agree with the per-pair view bit for bit, and the
+// mirror table must agree with the binary search it replaces.
+TEST(DispatchEquivalence, WordRowsAndMirrorPositionsMatchScalarQueries) {
+  for (const char* spec : {"hypercube 5", "star 5", "pancake 4"}) {
+    SCOPED_TRACE(spec);
+    test::Instance inst(spec);
+    const std::size_t n = inst.graph.num_nodes();
+    Rng rng(3);
+    const FaultSet faults(n, inject_uniform(n, 3, rng));
+    const Syndrome syndrome =
+        generate_syndrome(inst.graph, faults, FaultyBehavior::kAllOne, 5);
+    for (Node u = 0; u < n; ++u) {
+      const auto adj = inst.graph.neighbors(u);
+      for (unsigned i = 0; i < adj.size(); ++i) {
+        const std::uint64_t row = syndrome.row_bits(u, i);
+        EXPECT_FALSE((row >> i) & 1) << "diagonal bit set at u=" << u;
+        for (unsigned j = 0; j < adj.size(); ++j) {
+          if (i == j) continue;
+          EXPECT_EQ(bool((row >> j) & 1), syndrome.test(u, i, j))
+              << "u=" << u << " i=" << i << " j=" << j;
+        }
+        EXPECT_EQ(static_cast<int>(inst.graph.mirror_position(u, i)),
+                  inst.graph.neighbor_position(adj[i], u))
+            << "u=" << u << " p=" << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mmdiag

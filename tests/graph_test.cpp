@@ -67,6 +67,31 @@ TEST(GraphBuilder, EmptyGraphAdjacencyIsWellDefined) {
   EXPECT_EQ(diameter(built), 0u);
 }
 
+TEST(GraphBuilder, RejectsAsymmetricOrOutOfRangeCsr) {
+  // The raw CSR constructor must reject what the edge/generator builders
+  // already reject: the diagnosis hot path trusts the precomputed mirror
+  // table (Graph::mirror_position) where the old neighbor_position search
+  // failed safely, so an asymmetric adjacency cannot be allowed to build.
+  EXPECT_THROW((void)Graph(std::vector<EdgeIndex>{0, 1, 1},
+                           std::vector<Node>{1}),
+               std::invalid_argument);
+  EXPECT_THROW((void)Graph(std::vector<EdgeIndex>{0, 1},
+                           std::vector<Node>{5}),
+               std::invalid_argument);
+}
+
+TEST(GraphBuilder, MirrorPositionsInvertAdjacency) {
+  const Graph g = build_graph_from_edges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}});
+  for (Node u = 0; u < 4; ++u) {
+    const auto adj = g.neighbors(u);
+    for (unsigned p = 0; p < adj.size(); ++p) {
+      EXPECT_EQ(static_cast<int>(g.mirror_position(u, p)),
+                g.neighbor_position(adj[p], u))
+          << "u=" << u << " p=" << p;
+    }
+  }
+}
+
 TEST(GraphBuilder, RejectsSelfLoopsAndDuplicates) {
   EXPECT_THROW((void)build_graph_from_edges(3, {{0, 0}}), std::invalid_argument);
   EXPECT_THROW((void)build_graph_from_edges(3, {{0, 1}, {1, 0}}), std::invalid_argument);
