@@ -20,8 +20,10 @@
 
 #include "bench_util.hpp"
 #include "core/batch_diagnoser.hpp"
+#include "engine/calibration.hpp"
 #include "mm/behavior.hpp"
 #include "mm/fault_set.hpp"
+#include "mm/syndrome.hpp"
 #include "util/timer.hpp"
 
 namespace mmdiag::bench {
@@ -31,6 +33,10 @@ struct SweepConfig {
   std::string spec;
   std::size_t syndromes;
 };
+
+constexpr FaultyBehavior kBehaviors[] = {
+    FaultyBehavior::kRandom, FaultyBehavior::kAllZero, FaultyBehavior::kAllOne,
+    FaultyBehavior::kAntiDiagnostic};
 
 struct Batch {
   std::vector<FaultSet> faults;
@@ -47,9 +53,6 @@ Batch make_batch(const std::string& spec, std::size_t count, unsigned delta) {
   batch.faults.reserve(count);
   batch.oracles.reserve(count);
   batch.ptrs.reserve(count);
-  constexpr FaultyBehavior kBehaviors[] = {
-      FaultyBehavior::kRandom, FaultyBehavior::kAllZero,
-      FaultyBehavior::kAllOne, FaultyBehavior::kAntiDiagnostic};
   for (std::size_t i = 0; i < count; ++i) {
     Rng rng(0xBA7C4 + i * 1315423911ULL);
     const std::size_t num_faults = i % (static_cast<std::size_t>(delta) + 1);
@@ -62,6 +65,34 @@ Batch make_batch(const std::string& spec, std::size_t count, unsigned delta) {
                                kBehaviors[i % 4], /*seed=*/i);
   }
   for (const LazyOracle& o : batch.oracles) batch.ptrs.push_back(&o);
+  return batch;
+}
+
+struct TableBatch {
+  std::vector<Syndrome> syndromes;
+  std::vector<TableOracle> oracles;
+  std::vector<const SyndromeOracle*> ptrs;
+};
+
+/// The same deterministic workload materialised as syndrome tables — the
+/// shape the bitsliced cohort path consumes (a LazyOracle has no rows to
+/// transpose).
+TableBatch make_table_batch(const std::string& spec, std::size_t count,
+                            unsigned delta) {
+  const auto& inst = instance(spec);
+  const Batch shape = make_batch(spec, count, delta);
+  TableBatch batch;
+  batch.syndromes.reserve(count);
+  batch.oracles.reserve(count);
+  batch.ptrs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    batch.syndromes.push_back(generate_syndrome(inst.graph, shape.faults[i],
+                                                kBehaviors[i % 4], /*seed=*/i));
+  }
+  for (const Syndrome& s : batch.syndromes) {
+    batch.oracles.emplace_back(inst.graph, s);
+  }
+  for (const TableOracle& o : batch.oracles) batch.ptrs.push_back(&o);
   return batch;
 }
 
@@ -153,6 +184,60 @@ int run(bool smoke, const std::string& out_path, unsigned max_threads) {
            Table::num(std::uint64_t{result.results.size()}),
            Table::num(rate, 1), Table::num(speedup, 2),
            Table::num(result.total_lookups), same ? "yes" : "NO"});
+    }
+
+    // Bitsliced cohort solve vs the scalar static path: the identical
+    // workload materialised as TableOracles, one thread each so the ratio
+    // isolates the kernel (no pool effects). The syndrome count is floored
+    // at 128 so full 64-wide cohorts actually form even under --smoke.
+    {
+      const std::size_t count = std::max<std::size_t>(config.syndromes, 128);
+      const TableBatch tbatch =
+          make_table_batch(config.spec, count, seq.delta());
+      const auto cal = engine().calibration(config.spec);
+      BatchOptions opts;
+      opts.threads = 1;
+      opts.bitsliced = false;
+      BatchDiagnoser scalar_batch(graph_handle(cal), cal->partition, opts);
+      opts.bitsliced = true;
+      BatchDiagnoser sliced_batch(graph_handle(cal), cal->partition, opts);
+
+      const BatchResult scalar_res = scalar_batch.diagnose_all(tbatch.ptrs);
+      const BatchResult sliced_res = sliced_batch.diagnose_all(tbatch.ptrs);
+      const bool same = identical(scalar_res.results, sliced_res.results);
+      all_identical = all_identical && same;
+      const double scalar_rate =
+          scalar_res.seconds > 0 ? static_cast<double>(count) /
+                                       scalar_res.seconds
+                                 : 0;
+      const double sliced_rate =
+          sliced_res.seconds > 0 ? static_cast<double>(count) /
+                                       sliced_res.seconds
+                                 : 0;
+      const double ratio = scalar_rate > 0 ? sliced_rate / scalar_rate : 0;
+
+      report.add_result({
+          {"topology", JsonValue::str(config.spec)},
+          {"family", JsonValue::str(inst.topo->info().family)},
+          {"nodes", JsonValue::num(inst.graph.num_nodes())},
+          {"delta", JsonValue::num(seq.delta())},
+          {"mode", JsonValue::str("sliced_vs_scalar")},
+          {"syndromes", JsonValue::num(count)},
+          {"threads", JsonValue::num(1)},
+          {"cohort_width", JsonValue::num(BitSlicedOracle::kMaxLanes)},
+          {"scalar_seconds", JsonValue::num(scalar_res.seconds)},
+          {"sliced_seconds", JsonValue::num(sliced_res.seconds)},
+          {"scalar_syndromes_per_sec", JsonValue::num(scalar_rate)},
+          {"syndromes_per_sec", JsonValue::num(sliced_rate)},
+          {"sliced_vs_scalar", JsonValue::num(ratio)},
+          {"total_lookups", JsonValue::num(sliced_res.total_lookups)},
+          {"identical_to_sequential", JsonValue::boolean(same)},
+      });
+      ExperimentTable::get().add_row(
+          {config.spec + " [sliced]", Table::num(std::uint64_t{1}),
+           Table::num(std::uint64_t{count}), Table::num(sliced_rate, 1),
+           Table::num(ratio, 2), Table::num(sliced_res.total_lookups),
+           same ? "yes" : "NO"});
     }
   }
 

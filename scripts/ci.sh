@@ -24,8 +24,27 @@ ctest --output-on-failure -j
 if [ -x bench/bench_batch ]; then
   ./bench/bench_batch --smoke --out BENCH_batch.json
   if command -v python3 >/dev/null; then
-    python3 -m json.tool BENCH_batch.json > /dev/null
-    echo "bench smoke: BENCH_batch.json is valid JSON"
+    # Beyond parsing, the smoke must show the bitsliced cohort path alive
+    # and equivalent: every topology needs a sliced_vs_scalar row with a
+    # 64-lane cohort width whose results matched the scalar path bit for
+    # bit (the binary exits non-zero on divergence; the fields are
+    # re-checked here so a reporting bug cannot mask one).
+    python3 - <<'PY'
+import json
+with open("BENCH_batch.json") as f:
+    report = json.load(f)
+rows = report["results"]
+assert rows, "BENCH_batch.json has no results"
+sliced = [r for r in rows if r.get("mode") == "sliced_vs_scalar"]
+assert sliced, "no sliced_vs_scalar rows: bitsliced cohort path never ran"
+for r in sliced:
+    assert r["cohort_width"] == 64, f"unexpected cohort width: {r}"
+    assert r["identical_to_sequential"], \
+        f"bitsliced cohort diverged from the scalar path: {r}"
+    assert r["sliced_vs_scalar"] > 0, f"degenerate throughput ratio: {r}"
+print(f"bench smoke: {len(sliced)} sliced_vs_scalar rows, "
+      "bitsliced cohorts bit-identical to the scalar path")
+PY
   else
     echo "bench smoke: python3 unavailable, JSON validation skipped"
   fi
@@ -88,6 +107,22 @@ PY
 else
   echo "hotpath smoke: bench_hotpath not built, skipped"
 fi
+
+# UBSan pass over the word-level kernels the bitsliced path leans on:
+# extract/row_bits/transpose64 shift edge cases trap at runtime under
+# -fsanitize=undefined instead of silently wrapping. Only the three suites
+# that exercise those kernels are built, so the pass stays cheap.
+cd ..
+cmake -B build-ubsan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=undefined -fno-sanitize-recover=all" \
+  "$@"
+cmake --build build-ubsan -j --target util_test syndrome_test dispatch_equiv_test
+./build-ubsan/tests/util_test
+./build-ubsan/tests/syndrome_test
+./build-ubsan/tests/dispatch_equiv_test
+echo "ubsan smoke: word-level kernel suites clean under -fsanitize=undefined"
+cd build
 
 if [ -x examples/mmdiag_cli ]; then
   # Fixed seed so the case stream is reproducible from the log alone;

@@ -21,7 +21,7 @@ BatchDiagnoser::BatchDiagnoser(const Topology& topology, const Graph& graph,
 
 BatchDiagnoser::BatchDiagnoser(const Graph& graph, CertifiedPartition partition,
                                BatchOptions options)
-    : graph_(&graph), pool_(options.threads) {
+    : graph_(&graph), bitsliced_(options.bitsliced), pool_(options.threads) {
   // Conflicting options.diagnoser (rule mismatch, non-zero delta disagreeing
   // with partition.delta) are rejected by the first per-lane Diagnoser ctor.
   lanes_.reserve(pool_.size());
@@ -54,14 +54,54 @@ BatchResult BatchDiagnoser::diagnose_all(
   }
   BatchResult out;
   out.results.resize(oracles.size());
+
+  // Cohort formation: full 64-wide runs of TableOracle inputs, in input
+  // order, each become one bitsliced lockstep solve; the remainder (<64)
+  // and every non-table oracle stay scalar per-item work. Grouping only
+  // changes which instruction stream serves a syndrome — results and
+  // look-up counts per syndrome are bit-identical, so batch output still
+  // matches a sequential Diagnoser exactly.
+  std::vector<std::size_t> table_idx;
+  if (bitsliced_ && graph_->max_degree() <= 64) {
+    for (std::size_t i = 0; i < oracles.size(); ++i) {
+      if (dynamic_cast<const TableOracle*>(oracles[i]) != nullptr) {
+        table_idx.push_back(i);
+      }
+    }
+  }
+  const std::size_t num_cohorts = table_idx.size() / BitSlicedOracle::kMaxLanes;
+  std::vector<std::size_t> scalar_idx;
+  {
+    std::vector<bool> in_cohort(oracles.size(), false);
+    for (std::size_t k = 0; k < num_cohorts * BitSlicedOracle::kMaxLanes; ++k) {
+      in_cohort[table_idx[k]] = true;
+    }
+    for (std::size_t i = 0; i < oracles.size(); ++i) {
+      if (!in_cohort[i]) scalar_idx.push_back(i);
+    }
+  }
+
   Timer timer;
-  pool_.parallel_for(oracles.size(), [&](unsigned lane, std::size_t i) {
-    // One typeid dispatch per syndrome recovers the devirtualised solve
-    // path behind the type-erased batch interface; counting is
-    // bit-identical to the virtual path, so batch results still match a
-    // sequential Diagnoser exactly.
-    out.results[i] = diagnose_devirtualized(*lanes_[lane], *oracles[i]);
-  });
+  pool_.parallel_for(
+      num_cohorts + scalar_idx.size(), [&](unsigned lane, std::size_t item) {
+        if (item < num_cohorts) {
+          std::vector<const TableOracle*> cohort(BitSlicedOracle::kMaxLanes);
+          const std::size_t base = item * BitSlicedOracle::kMaxLanes;
+          for (unsigned k = 0; k < BitSlicedOracle::kMaxLanes; ++k) {
+            cohort[k] =
+                static_cast<const TableOracle*>(oracles[table_idx[base + k]]);
+          }
+          auto res = lanes_[lane]->diagnose_cohort(cohort);
+          for (unsigned k = 0; k < BitSlicedOracle::kMaxLanes; ++k) {
+            out.results[table_idx[base + k]] = std::move(res[k]);
+          }
+        } else {
+          // One typeid dispatch per syndrome recovers the devirtualised
+          // solve path behind the type-erased batch interface.
+          const std::size_t i = scalar_idx[item - num_cohorts];
+          out.results[i] = diagnose_devirtualized(*lanes_[lane], *oracles[i]);
+        }
+      });
   out.seconds = timer.seconds();
   for (const DiagnosisResult& r : out.results) {
     out.succeeded += r.success ? 1 : 0;

@@ -35,6 +35,14 @@ struct BatchOptions {
   unsigned threads = 0;
   /// Per-item diagnosis options, identical to the sequential Diagnoser's.
   DiagnoserOptions diagnoser;
+  /// Solve TableOracle inputs in bitsliced cohorts of 64
+  /// (Diagnoser::diagnose_cohort): full 64-wide runs of table inputs, in
+  /// input order, become one lockstep solve each; the remainder and every
+  /// non-table oracle go through the scalar per-item path. Per-syndrome
+  /// results and look-up counts are bit-identical either way — this is
+  /// purely a throughput knob, on by default; benches switch it off to
+  /// measure the scalar path.
+  bool bitsliced = true;
 };
 
 struct BatchResult {
@@ -85,6 +93,7 @@ class BatchDiagnoser {
  private:
   std::shared_ptr<const Graph> graph_owner_;  // null on the raw-pointer path
   const Graph* graph_;
+  bool bitsliced_;
   ThreadPool pool_;
   // lanes_[k] is exclusively used by pool lane k. unique_ptr keeps the
   // Diagnosers (and their scratch) stable and avoids false sharing of

@@ -1,5 +1,7 @@
 #include "core/diagnoser.hpp"
 
+#include <array>
+#include <bit>
 #include <stdexcept>
 #include <typeinfo>
 
@@ -150,6 +152,135 @@ DiagnosisResult Diagnoser::diagnose_baseline(const SyndromeOracle& oracle) {
     return out;
   }
   out.success = true;
+  return out;
+}
+
+// The cohort driver: the phase-1/2/3 structure of diagnose_impl with lane
+// masks for control flow. Each lane leaves the probe stream the moment its
+// component certifies — exactly where its scalar loop would break — so
+// per-lane probe counts and look-ups match the scalar path bit for bit.
+std::vector<DiagnosisResult> Diagnoser::diagnose_cohort(
+    const std::vector<const TableOracle*>& lanes) {
+  if (lanes.empty() || lanes.size() > BitSlicedOracle::kMaxLanes) {
+    throw std::invalid_argument("Diagnoser: cohort width must be 1..64 (got " +
+                                std::to_string(lanes.size()) + ")");
+  }
+  for (const TableOracle* lane : lanes) {
+    if (lane == nullptr) {
+      throw std::invalid_argument("Diagnoser: null oracle in cohort");
+    }
+  }
+  const unsigned width = static_cast<unsigned>(lanes.size());
+  std::vector<DiagnosisResult> out(width);
+
+  // Rows wider than one word cannot bitslice; the whole cohort peels to
+  // the scalar static path (identical results, just not in lockstep).
+  if (graph_->max_degree() > 64) {
+    for (unsigned i = 0; i < width; ++i) out[i] = diagnose(*lanes[i]);
+    return out;
+  }
+
+  const Timer solve_timer;
+  BitSlicedOracle sliced(*graph_);
+  for (const TableOracle* lane : lanes) {
+    lane->reset_lookups();
+    sliced.add_lane(*lane);
+  }
+  const std::uint64_t live = sliced.full_mask();
+  const PartitionPlan& plan = *partition_.plan;
+
+  std::array<SlicedLaneResult, BitSlicedOracle::kMaxLanes> lane_run;
+  std::array<std::uint32_t, BitSlicedOracle::kMaxLanes> component_of{};
+
+  // Phase 1, lockstep: each probe runs once for every not-yet-certified
+  // lane.
+  const std::size_t max_probes =
+      std::min<std::size_t>(plan.num_components(), std::size_t{delta_} + 1);
+  std::uint64_t certified = 0;
+  probe_builder_.set_stop_on_certify(options_.stop_probe_on_certify);
+  for (std::size_t c = 0; c < max_probes; ++c) {
+    const std::uint64_t probing = live & ~certified;
+    if (probing == 0) break;
+    probe_builder_.run_sliced_restricted(sliced, plan.seed_of(c), delta_,
+                                         probing, plan,
+                                         static_cast<std::uint32_t>(c),
+                                         lane_run.data());
+    for (std::uint64_t m = probing; m != 0; m &= m - 1) {
+      const unsigned L = static_cast<unsigned>(std::countr_zero(m));
+      ++out[L].probes;
+      if (lane_run[L].all_healthy) {
+        certified |= std::uint64_t{1} << L;
+        component_of[L] = static_cast<std::uint32_t>(c);
+      }
+    }
+  }
+  probe_builder_.set_stop_on_certify(false);
+  for (std::uint64_t m = live & ~certified; m != 0; m &= m - 1) {
+    out[std::countr_zero(m)].failure_reason =
+        "no component certified within delta+1 probes; the fault count "
+        "likely exceeds the bound delta = " +
+        std::to_string(delta_);
+  }
+
+  // Phases 2+3 per distinct certified component: lanes that certified the
+  // same seed share one unrestricted lockstep run and one boundary scan.
+  const std::size_t num_nodes = graph_->num_nodes();
+  std::uint64_t remaining = certified;
+  while (remaining != 0) {
+    const std::uint32_t comp = component_of[std::countr_zero(remaining)];
+    std::uint64_t group = 0;
+    for (std::uint64_t m = remaining; m != 0; m &= m - 1) {
+      const unsigned L = static_cast<unsigned>(std::countr_zero(m));
+      if (component_of[L] == comp) group |= std::uint64_t{1} << L;
+    }
+    remaining &= ~group;
+
+    final_builder_.run_sliced(sliced, plan.seed_of(comp), delta_, group,
+                              lane_run.data());
+    for (std::uint64_t m = group; m != 0; m &= m - 1) {
+      const unsigned L = static_cast<unsigned>(std::countr_zero(m));
+      out[L].certified_component = comp;
+      out[L].final_members = lane_run[L].member_count;
+      out[L].final_rounds = lane_run[L].rounds;
+    }
+    // Phase 3, bitsliced: the complement scan of diagnose_impl over
+    // lane-membership masks. Ascending v, so per-lane fault lists come
+    // out sorted exactly as the scalar path produces them.
+    for (Node v = 0; v < num_nodes; ++v) {
+      const std::uint64_t cand =
+          group & ~final_builder_.sliced_member_mask(v);
+      if (cand == 0) continue;
+      std::uint64_t hit = 0;
+      for (const Node w : graph_->neighbors(v)) {
+        hit |= cand & final_builder_.sliced_member_mask(w);
+        if (hit == cand) break;
+      }
+      for (std::uint64_t m = hit; m != 0; m &= m - 1) {
+        out[std::countr_zero(m)].faults.push_back(v);
+      }
+    }
+    for (std::uint64_t m = group; m != 0; m &= m - 1) {
+      const unsigned L = static_cast<unsigned>(std::countr_zero(m));
+      if (out[L].faults.size() > delta_) {
+        out[L].failure_reason =
+            "boundary larger than delta (" +
+            std::to_string(out[L].faults.size()) + " > " +
+            std::to_string(delta_) + "); the fault count exceeds the bound";
+        out[L].faults.clear();
+      } else {
+        out[L].success = true;
+      }
+    }
+  }
+
+  // Flush per-lane accounting (the cohort analogue of run_impl's
+  // add_lookups flush) and stamp the shared wall time.
+  const double seconds = solve_timer.seconds();
+  for (unsigned L = 0; L < width; ++L) {
+    lanes[L]->add_lookups(sliced.lane_lookups(L));
+    out[L].lookups = lanes[L]->lookups();
+    out[L].diagnose_seconds = seconds;
+  }
   return out;
 }
 

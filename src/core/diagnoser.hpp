@@ -115,6 +115,19 @@ class Diagnoser {
     return diagnose_impl<O>(oracle);
   }
 
+  /// Diagnose up to 64 materialised syndromes over this calibration in
+  /// bitsliced lockstep (SetBuilder::run_sliced): probes, final runs and
+  /// boundary scans execute once per cohort instead of once per syndrome.
+  /// Per-syndrome results — faults, probes, rounds, members, certified
+  /// component, failure strings AND counted look-ups — are bit-identical
+  /// to calling diagnose() on each oracle alone; each oracle's counter is
+  /// reset and refilled exactly as the scalar path does, so one failing
+  /// lane never perturbs the rest. Degrees above 64 (no word-wide rows)
+  /// fall back to per-lane scalar solves. Throws std::invalid_argument on
+  /// an empty, >64-wide, or null-containing cohort.
+  [[nodiscard]] std::vector<DiagnosisResult> diagnose_cohort(
+      const std::vector<const TableOracle*>& lanes);
+
   /// The pre-optimisation driver, preserved verbatim (SetBuilder baseline
   /// runs, member-walk boundary collection with dedup scratch + sort) as
   /// the measured old-vs-new baseline of bench_hotpath and a third voice

@@ -115,6 +115,17 @@ struct SetBuilderResult {
   std::vector<Node> parent;      // parent[i] = t(members[i]); root -> kNoNode
 };
 
+/// Per-lane outcome of a bitsliced cohort run (SetBuilder::run_sliced) —
+/// the scalar SetBuilderResult minus the materialised member/parent
+/// vectors: cohort callers read membership through sliced_member_mask,
+/// which costs nothing to produce for 64 lanes at once.
+struct SlicedLaneResult {
+  bool all_healthy = false;
+  unsigned rounds = 0;
+  std::size_t contributors = 0;
+  std::size_t member_count = 0;  // |U_r|, counting the seed
+};
+
 class SetBuilder {
  public:
   explicit SetBuilder(const Graph& g, ParentRule rule = ParentRule::kSpread);
@@ -154,6 +165,28 @@ class SetBuilder {
                                            const PartitionPlan& plan,
                                            std::uint32_t comp);
 
+  /// Bitsliced cohort run: executes run()'s admission logic for every lane
+  /// of `oracle` named in `active` (bit L = lane L) in lockstep — one
+  /// instruction stream drives up to 64 syndromes. `out` must have room
+  /// for 64 entries; out[L] is written for every lane in `active`. Each
+  /// lane's members, rounds, contributors and charged look-ups (through
+  /// oracle.charge) are bit-identical to a scalar run over that lane
+  /// alone. Requires max_degree() <= 64 (word-wide rows).
+  void run_sliced(const BitSlicedOracle& oracle, Node u0, unsigned delta,
+                  std::uint64_t active, SlicedLaneResult* out);
+
+  /// run_sliced restricted to component `comp` of `plan`.
+  void run_sliced_restricted(const BitSlicedOracle& oracle, Node u0,
+                             unsigned delta, std::uint64_t active,
+                             const PartitionPlan& plan, std::uint32_t comp,
+                             SlicedLaneResult* out);
+
+  /// Lane-membership mask of the most recent sliced run: bit L set iff v
+  /// is in lane L's U_r. Valid until the next sliced run on this builder.
+  [[nodiscard]] std::uint64_t sliced_member_mask(Node v) const noexcept {
+    return s_member_.empty() ? 0 : s_member_[v];
+  }
+
   /// Membership in the most recent run's U_r (valid until the next run).
   [[nodiscard]] bool in_last_set(Node v) const noexcept {
     return in_set_.contains(v);
@@ -181,9 +214,22 @@ class SetBuilder {
     std::uint32_t child_parent_pos;
   };
 
+  /// A deferred-join candidate of one sliced round: ZeroEdge plus the mask
+  /// of lanes whose 0-test offered it.
+  struct SlicedEdge {
+    Node parent;
+    Node child;
+    std::uint32_t child_parent_pos;
+    std::uint64_t lanes;
+  };
+
   template <class O>
   SetBuilderResult run_impl(const O& oracle, Node u0, unsigned delta,
                             const PartitionPlan* plan, std::uint32_t comp);
+
+  void run_sliced_impl(const BitSlicedOracle& oracle, Node u0, unsigned delta,
+                       std::uint64_t active, const PartitionPlan* plan,
+                       std::uint32_t comp, SlicedLaneResult* out);
 
   SetBuilderResult run_baseline_impl(const SyndromeOracle& oracle, Node u0,
                                      unsigned delta, const PartitionPlan* plan,
@@ -205,6 +251,25 @@ class SetBuilder {
   std::vector<unsigned> round1_pos_;  // eligible seed-adjacency positions
   std::vector<ZeroEdge> zero_edges_;  // deferred-join round buffer
   std::size_t last_unrestricted_size_ = 0;  // reserve hint for members
+
+  // Sliced-run scratch: per-node *lane masks* replace the scalar path's
+  // per-run bitsets (bit L of s_member_[v] = v ∈ lane L's U_r, and so on),
+  // plus a union node-bitmap per frontier so iteration stays word-granular.
+  // Sized lazily on the first sliced run; cleared through the touched-node
+  // list so resets stay O(|U_r|) like the dirty bitsets. The divergent-pos
+  // side table holds the rare (node, lane) parent positions that differ
+  // from the node's first-recorded one, flat-indexed (v << 6) | lane; its
+  // entries need no clearing because every read is gated by the per-node
+  // divergence masks, which are reset (see run_sliced_impl).
+  std::vector<std::uint64_t> s_member_;
+  std::vector<std::uint64_t> s_contrib_;
+  std::vector<std::uint64_t> s_frontier_[2];
+  std::vector<std::uint64_t> s_frontier_union_[2];  // node-indexed bitmaps
+  std::vector<std::uint32_t> s_shared_pos_;
+  std::vector<std::uint64_t> s_divergent_;
+  std::vector<Node> s_touched_;
+  std::vector<SlicedEdge> s_zero_edges_;
+  std::vector<std::uint8_t> s_divergent_pos_;
 
   // Baseline-only scratch (the seed implementation's data structures,
   // including its per-round heap behaviour — deliberately not shared with

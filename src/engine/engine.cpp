@@ -1,7 +1,9 @@
 #include "engine/engine.hpp"
 
+#include <array>
 #include <functional>
 #include <stdexcept>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
@@ -113,51 +115,134 @@ std::vector<DiagnosisResult> DiagnosisEngine::serve(
     const std::vector<EngineRequest>& requests) {
   const std::lock_guard<std::mutex> serve_lock(serve_mu_);
   std::vector<DiagnosisResult> results(requests.size());
-  pool_.parallel_for(requests.size(), [&](unsigned lane, std::size_t i) {
-    const EngineRequest& request = requests[i];
-    DiagnosisResult& out = results[i];
-    if (request.oracle == nullptr) {
-      out.failure_reason = "null oracle in request";
-      return;
-    }
-    try {
-      const Timer setup_timer;
-      bool reused = false;
-      const std::shared_ptr<const Calibration> cal = get_or_build(
-          request.spec, options_.diagnoser.delta, options_.diagnoser.rule,
-          options_.diagnoser.validate_all_components, &reused);
-      // Lane-local Diagnoser per calibration: scratch (frontiers, stamp
-      // sets) is reused across the stream without crossing threads. Stale
-      // entries for evicted calibrations can never be looked up again (the
-      // pointer differs), so on overflow those are pruned first — keeping
-      // total pinned memory proportional to the cache capacity, not to
-      // threads x capacity — and only if every entry is still resident is
-      // the map cleared outright.
-      auto& scratch = lane_scratch_[lane];
-      auto it = scratch.find(cal.get());
-      if (it == scratch.end()) {
-        if (scratch.size() >= capacity_) {
-          prune_stale(scratch);
-          if (scratch.size() >= capacity_) scratch.clear();
-        }
-        it = scratch
-                 .emplace(cal.get(),
-                          LaneDiagnoser{cal, std::make_unique<Diagnoser>(
-                                                 graph_handle(cal),
-                                                 cal->partition,
-                                                 options_.diagnoser)})
-                 .first;
+
+  // Bitsliced cohorts: full 64-wide runs of same-spec TableOracle requests
+  // (in request order per spec) each become one lockstep solve
+  // (Diagnoser::diagnose_cohort) on whichever lane picks them up; the
+  // per-spec remainder and every other request stay scalar items.
+  // get_or_build still runs once per *request*, so cache hit/miss counters
+  // and per-request calibration_reused semantics are exactly the scalar
+  // path's. Per-syndrome results and look-up counts are bit-identical
+  // either way.
+  std::vector<std::vector<std::size_t>> cohorts;
+  std::vector<std::size_t> scalar_idx;
+  {
+    std::unordered_map<std::string, std::vector<std::size_t>> by_spec;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const EngineRequest& rq = requests[i];
+      if (rq.oracle != nullptr &&
+          dynamic_cast<const TableOracle*>(rq.oracle) != nullptr &&
+          rq.oracle->graph().max_degree() <= 64) {
+        by_spec[rq.spec].push_back(i);
       }
-      const double setup_seconds = setup_timer.seconds();
-      out = diagnose_devirtualized(*it->second.diagnoser, *request.oracle);
-      out.calibration_reused = reused;
-      out.setup_seconds = setup_seconds;
-    } catch (const std::exception& e) {
-      // A malformed or unsupported request fails alone; the stream goes on.
-      out = DiagnosisResult{};
-      out.failure_reason = std::string("engine setup failed: ") + e.what();
     }
-  });
+    std::vector<char> in_cohort(requests.size(), 0);
+    for (auto& [spec, idx] : by_spec) {
+      for (std::size_t k = 0; k + BitSlicedOracle::kMaxLanes <= idx.size();
+           k += BitSlicedOracle::kMaxLanes) {
+        cohorts.emplace_back(idx.begin() + k,
+                             idx.begin() + k + BitSlicedOracle::kMaxLanes);
+        for (const std::size_t i : cohorts.back()) in_cohort[i] = 1;
+      }
+    }
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (in_cohort[i] == 0) scalar_idx.push_back(i);
+    }
+  }
+
+  // Lane-local Diagnoser per calibration: scratch (frontiers, stamp sets)
+  // is reused across the stream without crossing threads. Stale entries
+  // for evicted calibrations can never be looked up again (the pointer
+  // differs), so on overflow those are pruned first — keeping total pinned
+  // memory proportional to the cache capacity, not to threads x capacity —
+  // and only if every entry is still resident is the map cleared outright.
+  auto lane_diagnoser =
+      [&](unsigned lane,
+          const std::shared_ptr<const Calibration>& cal) -> Diagnoser& {
+    auto& scratch = lane_scratch_[lane];
+    auto it = scratch.find(cal.get());
+    if (it == scratch.end()) {
+      if (scratch.size() >= capacity_) {
+        prune_stale(scratch);
+        if (scratch.size() >= capacity_) scratch.clear();
+      }
+      it = scratch
+               .emplace(cal.get(),
+                        LaneDiagnoser{cal, std::make_unique<Diagnoser>(
+                                               graph_handle(cal),
+                                               cal->partition,
+                                               options_.diagnoser)})
+               .first;
+    }
+    return *it->second.diagnoser;
+  };
+
+  pool_.parallel_for(
+      cohorts.size() + scalar_idx.size(),
+      [&](unsigned lane, std::size_t item) {
+        if (item < cohorts.size()) {
+          const std::vector<std::size_t>& idx = cohorts[item];
+          try {
+            const Timer setup_timer;
+            std::shared_ptr<const Calibration> cal;
+            std::array<bool, BitSlicedOracle::kMaxLanes> reused{};
+            for (std::size_t k = 0; k < idx.size(); ++k) {
+              bool r = false;
+              cal = get_or_build(requests[idx[k]].spec,
+                                 options_.diagnoser.delta,
+                                 options_.diagnoser.rule,
+                                 options_.diagnoser.validate_all_components,
+                                 &r);
+              reused[k] = r;
+            }
+            Diagnoser& diagnoser = lane_diagnoser(lane, cal);
+            const double setup_seconds = setup_timer.seconds();
+            std::vector<const TableOracle*> cohort;
+            cohort.reserve(idx.size());
+            for (const std::size_t i : idx) {
+              cohort.push_back(
+                  static_cast<const TableOracle*>(requests[i].oracle));
+            }
+            auto res = diagnoser.diagnose_cohort(cohort);
+            for (std::size_t k = 0; k < idx.size(); ++k) {
+              res[k].calibration_reused = reused[k];
+              res[k].setup_seconds = setup_seconds;
+              results[idx[k]] = std::move(res[k]);
+            }
+          } catch (const std::exception& e) {
+            // A failing cohort fails alone; the stream goes on.
+            for (const std::size_t i : idx) {
+              results[i] = DiagnosisResult{};
+              results[i].failure_reason =
+                  std::string("engine setup failed: ") + e.what();
+            }
+          }
+          return;
+        }
+        const std::size_t i = scalar_idx[item - cohorts.size()];
+        const EngineRequest& request = requests[i];
+        DiagnosisResult& out = results[i];
+        if (request.oracle == nullptr) {
+          out.failure_reason = "null oracle in request";
+          return;
+        }
+        try {
+          const Timer setup_timer;
+          bool reused = false;
+          const std::shared_ptr<const Calibration> cal = get_or_build(
+              request.spec, options_.diagnoser.delta, options_.diagnoser.rule,
+              options_.diagnoser.validate_all_components, &reused);
+          Diagnoser& diagnoser = lane_diagnoser(lane, cal);
+          const double setup_seconds = setup_timer.seconds();
+          out = diagnose_devirtualized(diagnoser, *request.oracle);
+          out.calibration_reused = reused;
+          out.setup_seconds = setup_seconds;
+        } catch (const std::exception& e) {
+          // A malformed or unsupported request fails alone.
+          out = DiagnosisResult{};
+          out.failure_reason = std::string("engine setup failed: ") + e.what();
+        }
+      });
   return results;
 }
 

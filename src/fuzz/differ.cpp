@@ -313,6 +313,43 @@ DiffReport run_differential(FuzzContext& ctx, const FuzzCase& c,
     }
   }
 
+  // Bitsliced cohort (fourth dispatch voice): the case rides a 4-lane
+  // cohort interleaved with fault-free lanes, so lane admission masks
+  // genuinely diverge mid-run and the peel path is exercised. Every lane
+  // must be bit-identical to a scalar solve of its own syndrome: the case
+  // lanes against the sequential reference, the fault-free lanes against a
+  // scalar solve of the fault-free table.
+  if (reference) {
+    try {
+      Diagnoser diagnoser(s.graph(), s.spread->partition, spread_options);
+      const Syndrome case_syndrome =
+          generate_syndrome(s.graph(), faults, c.behavior, c.behavior_seed);
+      const FaultSet no_faults(s.graph().num_nodes(), {});
+      const Syndrome healthy_syndrome =
+          generate_syndrome(s.graph(), no_faults, c.behavior, c.behavior_seed);
+      const TableOracle case0(s.graph(), case_syndrome);
+      const TableOracle case1(s.graph(), case_syndrome);
+      const TableOracle healthy0(s.graph(), healthy_syndrome);
+      const TableOracle healthy1(s.graph(), healthy_syndrome);
+      const TableOracle healthy_scalar(s.graph(), healthy_syndrome);
+      const DiagnosisResult healthy_expected =
+          diagnoser.diagnose(static_cast<const SyndromeOracle&>(healthy_scalar));
+      const auto cohort =
+          diagnoser.diagnose_cohort({&healthy0, &case0, &healthy1, &case1});
+      check_dispatch_identical(report, "cohort-bitsliced", healthy_expected,
+                               cohort[0]);
+      check_dispatch_identical(report, "cohort-bitsliced", *reference,
+                               cohort[1]);
+      check_dispatch_identical(report, "cohort-bitsliced", healthy_expected,
+                               cohort[2]);
+      check_dispatch_identical(report, "cohort-bitsliced", *reference,
+                               cohort[3]);
+    } catch (const std::exception& e) {
+      report.divergences.push_back(
+          {"cohort-bitsliced", std::string("driver threw: ") + e.what()});
+    }
+  }
+
   // Deliberate breakage, for testing the fuzzer itself.
   if (sabotage == Sabotage::kRuleMismatch) {
     DiagnoserOptions mismatched;

@@ -7,6 +7,9 @@
 // demand in the machine).
 #pragma once
 
+#include <array>
+#include <bit>
+#include <cassert>
 #include <concepts>
 #include <cstdint>
 #include <memory>
@@ -64,6 +67,19 @@ class TableOracle final : public SyndromeOracle {
   /// Requires degree(u) <= 64.
   [[nodiscard]] std::uint64_t row_bits(Node u, unsigned i) const noexcept {
     return syndrome_->row_bits(u, i);
+  }
+
+  /// Split row addressing (Syndrome::row_location / row_bits_at): cohort
+  /// readers resolve a row's location once — it is layout-determined, hence
+  /// identical for every syndrome on the same graph — and issue one raw
+  /// read per lane. Uncounted, like row_bits.
+  [[nodiscard]] Syndrome::RowLocation row_location(Node u,
+                                                   unsigned i) const noexcept {
+    return syndrome_->row_location(u, i);
+  }
+  [[nodiscard]] std::uint64_t row_bits_at(
+      Syndrome::RowLocation loc) const noexcept {
+    return syndrome_->row_bits_at(loc);
   }
 
  protected:
@@ -140,5 +156,159 @@ concept WordRowOracle = StaticOracle<O> &&
     requires(const O& o, Node u, unsigned i) {
       { o.row_bits(u, i) } -> std::same_as<std::uint64_t>;
     };
+
+// ---------------------------------------------------------------------------
+// Bitsliced cohort view: structure-of-arrays over up to 64 TableOracles.
+// ---------------------------------------------------------------------------
+
+/// A lane-major, lazily-transposed view of up to 64 syndromes on one graph.
+///
+/// Row storage (Syndrome / TableOracle::row_bits) packs one syndrome's
+/// s_u(pivot, ·) row into a word: bit p = outcome at neighbour position p.
+/// The cohort kernel (SetBuilder::run_sliced) wants the *other* axis in
+/// registers — for a fixed (u, pivot, p), the outcome of every cohort
+/// member at once — so transposed_row() gathers each lane's packed row and
+/// flips the 64×64 bit block (transpose64): word p of the result has bit
+/// L = lane L's s_u(pivot, p). One gather+transpose then serves up to
+/// 64 lanes × degree consults. The transpose is lazy and per-(u, pivot):
+/// a whole-table transpose would touch ~60× more pairs than a solve reads.
+///
+/// Look-up accounting is per lane and charged per *consulted pair*, never
+/// per word read, so each lane's counter stays bit-identical to a scalar
+/// run of that lane alone: charge(mask) adds one look-up to every lane in
+/// the mask. Charges land in vertical (carry-save) bit-plane counters —
+/// one ripple-add of the mask, ~2 word ops amortised — instead of a
+/// 64-iteration scalar loop per charge; lane_lookups() folds the planes.
+/// The kernel flushes lane_lookups() into each TableOracle's counter via
+/// add_lookups(), exactly like the scalar word-row path.
+///
+/// Single-threaded by design (one cohort per worker lane): the transpose
+/// scratch and counters are unsynchronised, like every oracle's counter.
+class BitSlicedOracle {
+ public:
+  static constexpr unsigned kMaxLanes = 64;
+
+  explicit BitSlicedOracle(const Graph& g) : graph_(&g) {
+    assert(g.max_degree() <= 64 &&
+           "BitSlicedOracle: rows wider than one word — use the scalar path");
+  }
+
+  /// Registers the next lane (at most 64). The oracle must address the
+  /// same adjacency as graph() — the standard cohort-by-shared-spec rule.
+  unsigned add_lane(const TableOracle& lane) {
+    assert(width_ < kMaxLanes && "BitSlicedOracle: cohort wider than 64");
+    lanes_[width_] = &lane;
+    return width_++;
+  }
+
+  [[nodiscard]] unsigned width() const noexcept { return width_; }
+  [[nodiscard]] const TableOracle& lane(unsigned i) const noexcept {
+    return *lanes_[i];
+  }
+  [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
+
+  /// All registered lanes as a mask: bit L set for lane L.
+  [[nodiscard]] std::uint64_t full_mask() const noexcept {
+    return width_ >= 64 ? ~std::uint64_t{0}
+                        : (std::uint64_t{1} << width_) - 1;
+  }
+
+  /// The cohort's s_u(pivot, ·) rows flipped lane-major: word p of the
+  /// returned array has bit L = lane L's s_u(pivot, p); only words
+  /// p < degree(u) are meaningful. Uncounted, like row_bits — callers
+  /// charge() exactly the pairs they consult. The pointer targets internal
+  /// scratch and is invalidated by the next transposed_row() or
+  /// gather_rows() call.
+  [[nodiscard]] const std::uint64_t* transposed_row(Node u,
+                                                    unsigned pivot) const {
+    gather_rows(u, pivot);
+    for (unsigned i = width_; i < kMaxLanes; ++i) scratch_[i] = 0;
+    transpose64(scratch_.data());
+    return scratch_.data();
+  }
+
+  /// Gathers each lane's packed s_u(pivot, ·) row into internal scratch
+  /// *without* transposing — pair with column() when only a few positions
+  /// will be consulted. A full 64×64 transpose costs ~770 word ops flat;
+  /// extracting a single column costs ~4 per lane, so the gather+column
+  /// route wins whenever fewer than ~3 columns are read (deep rounds of a
+  /// solve consult ≈1 position per node). Uncounted; invalidates the
+  /// previous gather/transpose.
+  void gather_rows(Node u, unsigned pivot) const {
+    // The row's location is layout-determined and the cohort rule pins all
+    // lanes to one graph, so resolve it once instead of re-walking each
+    // lane's (identical) offset/degree tables — that alone halves the
+    // scattered cache lines a gather touches.
+    const Syndrome::RowLocation loc = lanes_[0]->row_location(u, pivot);
+    for (unsigned i = 0; i < width_; ++i) {
+      scratch_[i] = lanes_[i]->row_bits_at(loc);
+    }
+  }
+
+  /// Column p of the last gather_rows() block: bit L = lane L's
+  /// s_u(pivot, p) — the same word transposed_row()[p] would hold.
+  [[nodiscard]] std::uint64_t column(unsigned p) const noexcept {
+    std::uint64_t c = 0;
+    for (unsigned i = 0; i < width_; ++i) {
+      c |= ((scratch_[i] >> p) & std::uint64_t{1}) << i;
+    }
+    return c;
+  }
+
+  // --- per-lane look-up accounting ----------------------------------------
+
+  /// Pending charges per plane before a lane's vertical counter spills into
+  /// its scalar slot: 2^kPlanes - 1 = 63.
+  static constexpr unsigned kPlanes = 6;
+
+  /// Zeroes every lane counter.
+  void reset_accounting() const noexcept {
+    served_.fill(0);
+    planes_.fill(0);
+  }
+
+  /// One syndrome look-up for every lane in `lanes`: a carry-save ripple
+  /// add of the mask into the bit planes (bit L of plane k = bit k of lane
+  /// L's pending count). The ripple terminates at the first carry-free
+  /// plane, so the common cost is one or two word ops, independent of how
+  /// many lanes the mask names.
+  void charge(std::uint64_t lanes) const noexcept {
+    std::uint64_t carry = lanes;
+    for (unsigned k = 0; k < kPlanes; ++k) {
+      const std::uint64_t t = planes_[k] & carry;
+      planes_[k] ^= carry;
+      carry = t;
+      if (carry == 0) return;
+    }
+    // Lanes that just wrapped 63 pending charges spill 64 at once.
+    for (; carry != 0; carry &= carry - 1) {
+      served_[std::countr_zero(carry)] += std::uint64_t{1} << kPlanes;
+    }
+  }
+
+  /// Look-ups charged to lane L since the last reset_accounting(). Folds
+  /// the pending planes first (cheap, and callers read each lane once).
+  [[nodiscard]] std::uint64_t lane_lookups(unsigned L) const noexcept {
+    fold();
+    return served_[L];
+  }
+
+ private:
+  void fold() const noexcept {
+    for (unsigned k = 0; k < kPlanes; ++k) {
+      for (std::uint64_t m = planes_[k]; m != 0; m &= m - 1) {
+        served_[std::countr_zero(m)] += std::uint64_t{1} << k;
+      }
+      planes_[k] = 0;
+    }
+  }
+
+  const Graph* graph_;
+  unsigned width_ = 0;
+  std::array<const TableOracle*, kMaxLanes> lanes_{};
+  mutable std::array<std::uint64_t, kMaxLanes> scratch_{};
+  mutable std::array<std::uint64_t, kMaxLanes> served_{};
+  mutable std::array<std::uint64_t, kPlanes> planes_{};
+};
 
 }  // namespace mmdiag

@@ -11,6 +11,7 @@
 // choice, not a change to what the syndrome contains.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -37,12 +38,39 @@ class Syndrome {
 
   /// The whole row s_u(i, ·) as one packed word: bit p = s_u(i, p) for every
   /// position p != i of u (bit i is 0). One contiguous extract — at most
-  /// two word loads. Requires degree(u) <= 64 — callers fall back to
-  /// test() beyond that.
+  /// two word loads, which can only cover a row of up to 64 bits: at
+  /// degree 65+ a single word cannot hold the row and extract would
+  /// silently truncate it, so the requirement is asserted here and every
+  /// caller (SetBuilder's word paths, BitSlicedOracle) gates on
+  /// max_degree() <= 64 and falls back to per-pair test() beyond that.
+  /// Rows at degree 63/64 that straddle word boundaries stay exact —
+  /// pinned by tests/syndrome_test.cpp.
   [[nodiscard]] std::uint64_t row_bits(Node u, unsigned i) const noexcept {
     const std::uint64_t d = degree_[u];
     if (d == 0) return 0;
+    assert(d <= 64 && "row_bits: row wider than one word — use test()");
+    assert(i < d && "row_bits: pivot position out of range");
     return bits_.extract(offsets_[u] + i * d, static_cast<unsigned>(d));
+  }
+
+  /// Split row addressing for cohort readers: the (bit offset, width) of
+  /// row s_u(i, ·) depends only on the graph's layout, so every syndrome on
+  /// the same graph places the row identically. A caller reading the same
+  /// row across many syndromes resolves the address once via row_location()
+  /// and issues one raw row_bits_at() per syndrome, instead of re-walking
+  /// each syndrome's (identical) offset and degree tables.
+  struct RowLocation {
+    std::uint64_t bit_offset;
+    unsigned width;
+  };
+  [[nodiscard]] RowLocation row_location(Node u, unsigned i) const noexcept {
+    const std::uint64_t d = degree_[u];
+    assert(d >= 1 && d <= 64 && "row_location: row wider than one word");
+    assert(i < d && "row_location: pivot position out of range");
+    return {offsets_[u] + i * d, static_cast<unsigned>(d)};
+  }
+  [[nodiscard]] std::uint64_t row_bits_at(RowLocation loc) const noexcept {
+    return bits_.extract(loc.bit_offset, loc.width);
   }
 
   /// Logical number of test results stored: Σ_u d(u)(d(u)-1)/2 (each

@@ -5,6 +5,7 @@
 // graph, which keeps Set_Builder at O(Δ·|U_r|) rather than O(N) per probe.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -41,8 +42,14 @@ class BitVec {
   /// Word-level read: the `len` (1..64) bits starting at bit `start`,
   /// packed little-endian into the low bits of the result. At most two
   /// word loads, so a whole syndrome row costs what one get() used to.
-  /// Requires start + len <= size().
+  /// Requires 1 <= len <= 64 and start + len <= size(): both shift
+  /// amounts below are then provably < 64 (off != 0 guards the second
+  /// shift, len < 64 guards the mask), so no shift-by-width UB path
+  /// exists, and the w + 1 load only happens when that word holds bits
+  /// the caller asked for.
   [[nodiscard]] std::uint64_t extract(std::uint64_t start, unsigned len) const noexcept {
+    assert(len >= 1 && len <= 64 && "extract: len out of [1, 64]");
+    assert(start + len <= size_ && "extract: range past the end");
     const std::uint64_t w = start >> 6;
     const unsigned off = static_cast<unsigned>(start & 63);
     std::uint64_t bits = words_[w] >> off;
@@ -64,6 +71,23 @@ class BitVec {
   std::uint64_t size_ = 0;
   std::vector<std::uint64_t> words_;
 };
+
+/// In-place 64×64 bit-matrix transpose: on return, bit c of a[r] is the
+/// old bit r of a[c]. The recursive block-swap runs 6 stages of masked
+/// exchanges (Hacker's Delight 7-3) — a few hundred register ops for all
+/// 4096 bits, which is what makes gathering one syndrome row per cohort
+/// lane and flipping it into lane-major words cheaper than 64 scalar row
+/// walks (see BitSlicedOracle).
+inline void transpose64(std::uint64_t a[64]) noexcept {
+  std::uint64_t m = 0x00000000FFFFFFFFULL;
+  for (unsigned j = 32; j != 0; j >>= 1, m ^= m << j) {
+    for (unsigned k = 0; k < 64; k = (k + j + 1) & ~j) {
+      const std::uint64_t t = ((a[k] >> j) ^ a[k + j]) & m;
+      a[k + j] ^= t;
+      a[k] ^= t << j;
+    }
+  }
+}
 
 /// A node set packed one bit per element — 512 bytes per 4096 nodes, so
 /// membership tests in hot loops stay L1-resident where a stamp array would

@@ -53,6 +53,35 @@ TEST(ThreadPool, ZeroCountIsANoOp) {
   pool.parallel_for(0, [&](unsigned, std::size_t) { FAIL(); });
 }
 
+TEST(ThreadPool, FewerItemsThanLanes) {
+  // Lanes beyond the item count must park without touching any index and
+  // without deadlocking the join.
+  ThreadPool pool(8);
+  for (const std::size_t count : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{7}}) {
+    std::vector<std::atomic<int>> hits(count);
+    pool.parallel_for(count, [&](unsigned lane, std::size_t i) {
+      (void)lane;
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < count; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "count=" << count << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPool, SingleItemManyLanes) {
+  ThreadPool pool(6);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> hits{0};
+    pool.parallel_for(1, [&](unsigned, std::size_t i) {
+      ASSERT_EQ(i, 0u);
+      ++hits;
+    });
+    ASSERT_EQ(hits.load(), 1);
+  }
+}
+
 TEST(ThreadPool, ExceptionsPropagateToTheCaller) {
   ThreadPool pool(4);
   const auto boom = [](unsigned, std::size_t i) {
@@ -247,6 +276,127 @@ TEST(BatchDiagnoser, FailedItemsKeepTheirCostAndDoNotPoisonTheBatch) {
     EXPECT_EQ(test::sorted(result.results[i].faults),
               test::sorted(healthy.nodes()));
   }
+}
+
+/// The same deterministic workload as make_batch, materialised as
+/// syndrome tables so the bitsliced cohort path engages.
+struct TableTestBatch {
+  std::vector<FaultSet> faults;
+  std::vector<Syndrome> syndromes;
+  std::vector<TableOracle> oracles;
+  std::vector<const SyndromeOracle*> ptrs;
+};
+
+TableTestBatch make_table_batch(const test::Instance& inst, unsigned delta,
+                                std::size_t count) {
+  TableTestBatch batch;
+  batch.faults.reserve(count);
+  batch.syndromes.reserve(count);
+  batch.oracles.reserve(count);
+  constexpr FaultyBehavior kBehaviors[] = {
+      FaultyBehavior::kRandom, FaultyBehavior::kAllZero,
+      FaultyBehavior::kAllOne, FaultyBehavior::kAntiDiagnostic};
+  for (std::size_t i = 0; i < count; ++i) {
+    Rng rng(1000 + i);
+    batch.faults.emplace_back(
+        inst.graph.num_nodes(),
+        inject_uniform(inst.graph.num_nodes(), i % (delta + 1), rng));
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    batch.syndromes.push_back(generate_syndrome(inst.graph, batch.faults[i],
+                                                kBehaviors[i % 4], i));
+    batch.oracles.emplace_back(inst.graph, batch.syndromes.back());
+  }
+  for (const TableOracle& o : batch.oracles) batch.ptrs.push_back(&o);
+  return batch;
+}
+
+TEST(BatchDiagnoser, BitslicedCohortsMatchScalarAtEveryWidth) {
+  // Widths straddling the 64-lane cohort boundary: 63 (no cohort forms),
+  // 64 (exactly one), 65 (one cohort + one scalar straggler), 130 (two
+  // cohorts + two stragglers). Each width is checked against both the
+  // sequential Diagnoser and the bitsliced=false batch path.
+  test::Instance inst("hypercube 7");
+  Diagnoser sequential(*inst.topo, inst.graph);
+  for (const std::size_t count : {std::size_t{63}, std::size_t{64},
+                                  std::size_t{65}, std::size_t{130}}) {
+    SCOPED_TRACE(count);
+    const TableTestBatch batch =
+        make_table_batch(inst, sequential.delta(), count);
+
+    std::vector<DiagnosisResult> truth;
+    for (const SyndromeOracle* oracle : batch.ptrs) {
+      truth.push_back(sequential.diagnose(*oracle));
+    }
+
+    BatchOptions scalar_opts;
+    scalar_opts.threads = 2;
+    scalar_opts.bitsliced = false;
+    BatchDiagnoser scalar_engine(*inst.topo, inst.graph, scalar_opts);
+    const BatchResult scalar = scalar_engine.diagnose_all(batch.ptrs);
+
+    BatchOptions sliced_opts;
+    sliced_opts.threads = 2;
+    sliced_opts.bitsliced = true;
+    BatchDiagnoser sliced_engine(*inst.topo, inst.graph, sliced_opts);
+    const BatchResult sliced = sliced_engine.diagnose_all(batch.ptrs);
+
+    ASSERT_EQ(scalar.results.size(), count);
+    ASSERT_EQ(sliced.results.size(), count);
+    for (std::size_t i = 0; i < count; ++i) {
+      expect_equivalent(truth[i], scalar.results[i], i);
+      expect_equivalent(truth[i], sliced.results[i], i);
+    }
+    EXPECT_EQ(sliced.total_lookups, scalar.total_lookups);
+    EXPECT_EQ(sliced.succeeded, scalar.succeeded);
+  }
+}
+
+TEST(BatchDiagnoser, MixedLazyAndTableBatchScattersCorrectly) {
+  // 64 tables interleaved with lazy oracles: the tables form one cohort,
+  // the lazies stay scalar, and every result lands back at its original
+  // index.
+  test::Instance inst("hypercube 7");
+  Diagnoser sequential(*inst.topo, inst.graph);
+  const TableTestBatch tables =
+      make_table_batch(inst, sequential.delta(), 64);
+  const TestBatch lazies = make_batch(inst, sequential.delta(), 9);
+
+  std::vector<const SyndromeOracle*> mixed;
+  std::size_t t = 0, l = 0;
+  while (t < tables.ptrs.size() || l < lazies.ptrs.size()) {
+    if (t < tables.ptrs.size()) mixed.push_back(tables.ptrs[t++]);
+    if (l < lazies.ptrs.size()) mixed.push_back(lazies.ptrs[l++]);
+  }
+
+  std::vector<DiagnosisResult> truth;
+  for (const SyndromeOracle* oracle : mixed) {
+    truth.push_back(sequential.diagnose(*oracle));
+  }
+
+  BatchOptions options;
+  options.threads = 3;
+  BatchDiagnoser engine(*inst.topo, inst.graph, options);
+  const BatchResult result = engine.diagnose_all(mixed);
+  ASSERT_EQ(result.results.size(), mixed.size());
+  for (std::size_t i = 0; i < mixed.size(); ++i) {
+    expect_equivalent(truth[i], result.results[i], i);
+    ASSERT_EQ(truth[i].final_members, result.results[i].final_members) << i;
+  }
+}
+
+TEST(BatchDiagnoser, SingleItemCohortlessBatchStillWorks) {
+  // One table oracle: far below cohort width, must take the scalar path
+  // under bitsliced=true without stalling the pool.
+  test::Instance inst("star 5");
+  Diagnoser sequential(*inst.topo, inst.graph);
+  const TableTestBatch batch = make_table_batch(inst, sequential.delta(), 1);
+  BatchOptions options;
+  options.threads = 4;
+  BatchDiagnoser engine(*inst.topo, inst.graph, options);
+  const BatchResult result = engine.diagnose_all(batch.ptrs);
+  ASSERT_EQ(result.results.size(), 1u);
+  expect_equivalent(sequential.diagnose(*batch.ptrs[0]), result.results[0], 0);
 }
 
 TEST(BatchDiagnoser, AdoptingPathRejectsConflictingDelta) {

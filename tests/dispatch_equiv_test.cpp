@@ -191,6 +191,157 @@ TEST(DispatchEquivalence, SetBuilderRunsMatchAcrossPaths) {
   }
 }
 
+/// Deterministic per-lane workload for a cohort: fault counts cycle over
+/// 0..delta, all four faulty behaviours, seeded per lane.
+std::vector<Syndrome> make_cohort_syndromes(const Graph& graph, unsigned delta,
+                                            std::size_t width) {
+  constexpr FaultyBehavior kBehaviors[] = {
+      FaultyBehavior::kRandom, FaultyBehavior::kAllZero,
+      FaultyBehavior::kAllOne, FaultyBehavior::kAntiDiagnostic};
+  std::vector<Syndrome> syndromes;
+  syndromes.reserve(width);
+  const std::size_t n = graph.num_nodes();
+  for (std::size_t lane = 0; lane < width; ++lane) {
+    Rng rng(0xC0407 + lane * 0x9E3779B97F4A7C15ULL);
+    const FaultSet faults(
+        n, inject_uniform(n, lane % (std::size_t{delta} + 1), rng));
+    syndromes.push_back(
+        generate_syndrome(graph, faults, kBehaviors[lane % 4], lane));
+  }
+  return syndromes;
+}
+
+/// Races diagnose_cohort against a scalar solve of each lane and demands
+/// bit-identity on every reported field, look-up counts included.
+void check_cohort_matches_scalar(Diagnoser& diagnoser, const Graph& graph,
+                                 const std::vector<Syndrome>& syndromes,
+                                 const std::string& tag) {
+  std::vector<TableOracle> scalar_oracles, cohort_oracles;
+  scalar_oracles.reserve(syndromes.size());
+  cohort_oracles.reserve(syndromes.size());
+  for (const Syndrome& s : syndromes) {
+    scalar_oracles.emplace_back(graph, s);
+    cohort_oracles.emplace_back(graph, s);
+  }
+  std::vector<DiagnosisResult> expected;
+  for (const TableOracle& o : scalar_oracles) {
+    expected.push_back(diagnoser.diagnose(o));
+  }
+  std::vector<const TableOracle*> lanes;
+  for (const TableOracle& o : cohort_oracles) lanes.push_back(&o);
+  const std::vector<DiagnosisResult> actual = diagnoser.diagnose_cohort(lanes);
+  ASSERT_EQ(actual.size(), syndromes.size()) << tag;
+  for (std::size_t lane = 0; lane < syndromes.size(); ++lane) {
+    expect_bit_identical(expected[lane], actual[lane],
+                         tag + "/lane=" + std::to_string(lane));
+    // The cohort must also charge each lane's own oracle identically.
+    EXPECT_EQ(scalar_oracles[lane].lookups(), cohort_oracles[lane].lookups())
+        << tag << "/lane=" << lane;
+  }
+}
+
+// The tentpole contract: a bitsliced lockstep cohort reports bit-identical
+// diagnoses — faults, failure strings, probes AND per-syndrome look-up
+// counts — for every registry family and all four parent rules, at widths
+// on both sides of the 64-lane word (1, 2, 63, 64).
+TEST(DispatchEquivalence, CohortMatchesScalarEveryFamilyEveryRule) {
+  for (const FamilyCase& family : kEveryFamily) {
+    SCOPED_TRACE(family.spec);
+    test::Instance inst(family.spec);
+    for (const ParentRule rule : kAllParentRules) {
+      CertifiedPartition partition;
+      try {
+        partition = find_certified_partition(*inst.topo, inst.graph,
+                                             family.delta, rule);
+      } catch (const DiagnosisUnsupportedError&) {
+        continue;
+      }
+      DiagnoserOptions options;
+      options.rule = rule;
+      Diagnoser diagnoser(inst.graph, partition, options);
+      const std::string tag =
+          std::string(family.spec) + "/" + to_string(rule);
+      for (const std::size_t width :
+           {std::size_t{1}, std::size_t{2}, std::size_t{63},
+            std::size_t{64}}) {
+        check_cohort_matches_scalar(
+            diagnoser, inst.graph,
+            make_cohort_syndromes(inst.graph, family.delta, width),
+            tag + "/width=" + std::to_string(width));
+      }
+    }
+  }
+}
+
+TEST(DispatchEquivalence, CohortMatchesScalarUnderStopOnCertify) {
+  test::Instance inst("hypercube 6");
+  const unsigned delta = 4;
+  CertifiedPartition partition = find_certified_partition(
+      *inst.topo, inst.graph, delta, ParentRule::kSpread);
+  DiagnoserOptions options;
+  options.stop_probe_on_certify = true;
+  Diagnoser diagnoser(inst.graph, partition, options);
+  check_cohort_matches_scalar(diagnoser, inst.graph,
+                              make_cohort_syndromes(inst.graph, delta, 64),
+                              "hypercube 6/stop-on-certify");
+}
+
+TEST(DispatchEquivalence, MixedCertifiableAndUncertifiableCohort) {
+  // An all-one syndrome (every comparison reports a mismatch) can never
+  // certify a component: its lane must carry the verbatim no-component
+  // failure string without poisoning the healthy lanes around it.
+  test::Instance inst("hypercube 6");
+  const unsigned delta = 4;
+  CertifiedPartition partition = find_certified_partition(
+      *inst.topo, inst.graph, delta, ParentRule::kSpread);
+  Diagnoser diagnoser(inst.graph, partition, DiagnoserOptions{});
+
+  std::vector<Syndrome> syndromes =
+      make_cohort_syndromes(inst.graph, delta, 64);
+  Syndrome all_one(inst.graph);
+  for (Node u = 0; u < inst.graph.num_nodes(); ++u) {
+    const auto deg = inst.graph.degree(u);
+    for (unsigned i = 0; i + 1 < deg; ++i) {
+      for (unsigned j = i + 1; j < deg; ++j) {
+        all_one.set_test(u, i, j, true);
+      }
+    }
+  }
+  syndromes[5] = all_one;
+  syndromes[62] = all_one;
+  check_cohort_matches_scalar(diagnoser, inst.graph, syndromes,
+                              "hypercube 6/mixed-uncertifiable");
+
+  const TableOracle bad(inst.graph, all_one);
+  const DiagnosisResult res = diagnoser.diagnose(bad);
+  EXPECT_FALSE(res.success);
+  EXPECT_NE(res.failure_reason.find("no component certified"),
+            std::string::npos)
+      << res.failure_reason;
+}
+
+TEST(DispatchEquivalence, CohortRejectsBadWidthsAndNullLanes) {
+  test::Instance inst("hypercube 5");
+  CertifiedPartition partition = find_certified_partition(
+      *inst.topo, inst.graph, 3, ParentRule::kSpread);
+  Diagnoser diagnoser(inst.graph, partition, DiagnoserOptions{});
+
+  EXPECT_THROW((void)diagnoser.diagnose_cohort({}), std::invalid_argument);
+
+  const std::vector<Syndrome> syndromes =
+      make_cohort_syndromes(inst.graph, 3, 65);
+  std::vector<TableOracle> oracles;
+  for (const Syndrome& s : syndromes) oracles.emplace_back(inst.graph, s);
+  std::vector<const TableOracle*> too_wide;
+  for (const TableOracle& o : oracles) too_wide.push_back(&o);
+  EXPECT_THROW((void)diagnoser.diagnose_cohort(too_wide),
+               std::invalid_argument);
+
+  std::vector<const TableOracle*> with_null = {&oracles[0], nullptr};
+  EXPECT_THROW((void)diagnoser.diagnose_cohort(with_null),
+               std::invalid_argument);
+}
+
 // The word-row view must agree with the per-pair view bit for bit, and the
 // mirror table must agree with the binary search it replaces.
 TEST(DispatchEquivalence, WordRowsAndMirrorPositionsMatchScalarQueries) {

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <utility>
 
+#include "graph/builder.hpp"
 #include "test_util.hpp"
 #include "util/rng.hpp"
 
@@ -84,6 +86,74 @@ TEST(Syndrome, PairIndexSymmetricAccess) {
   s.set_test(0, 0, 2, true);
   EXPECT_TRUE(s.test(0, 2, 0));
   EXPECT_FALSE(s.test(0, 1, 2));
+}
+
+Graph complete_graph(std::size_t n) {
+  std::vector<std::pair<Node, Node>> edges;
+  for (Node u = 0; u + 1 < n; ++u) {
+    for (Node v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  }
+  return build_graph_from_edges(n, edges);
+}
+
+// Exhaustive row_bits-vs-test() cross-checks at the word-width boundary:
+// d = 63 (rows end mid-word) and d = 64 (rows fill a word exactly, the
+// len == 64 extract edge case). Every (u, pivot, position) triple is
+// compared, and the diagonal slot must read zero.
+void expect_rows_match_tests(const Graph& g, const Syndrome& s) {
+  const unsigned d = static_cast<unsigned>(g.max_degree());
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    for (unsigned i = 0; i < d; ++i) {
+      const std::uint64_t row = s.row_bits(u, i);
+      for (unsigned j = 0; j < d; ++j) {
+        const bool bit = ((row >> j) & 1u) != 0;
+        if (j == i) {
+          ASSERT_FALSE(bit) << "diagonal set: u=" << u << " i=" << i;
+        } else {
+          ASSERT_EQ(bit, s.test(u, i, j)) << "u=" << u << " i=" << i
+                                          << " j=" << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(Syndrome, RowBitsMatchesTestAtDegree63) {
+  const Graph g = complete_graph(64);  // K_64: d = 63
+  const FaultSet faults(64, {0, 17, 63});
+  const Syndrome s =
+      generate_syndrome(g, faults, FaultyBehavior::kRandom, 404);
+  expect_rows_match_tests(g, s);
+}
+
+TEST(Syndrome, RowBitsMatchesTestAtDegree64) {
+  const Graph g = complete_graph(65);  // K_65: d = 64, rows exactly one word
+  const FaultSet faults(65, {2, 40, 64});
+  const Syndrome s =
+      generate_syndrome(g, faults, FaultyBehavior::kAntiDiagnostic, 405);
+  expect_rows_match_tests(g, s);
+}
+
+TEST(Syndrome, Degree65StaysConsistentThroughPairAccess) {
+  // K_66: d = 65 > 64, so row_bits is off the table (callers gate on
+  // max_degree() <= 64 and fall back to per-pair test()); the pair path
+  // itself must stay sound at this width.
+  const Graph g = complete_graph(66);
+  const FaultSet faults(66, {1, 65});
+  const Syndrome s =
+      generate_syndrome(g, faults, FaultyBehavior::kAllOne, 406);
+  const TableOracle table(g, s);
+  const LazyOracle lazy(g, faults, FaultyBehavior::kAllOne, 406);
+  for (Node u = 0; u < 66; ++u) {
+    const auto deg = g.degree(u);
+    for (unsigned i = 0; i + 1 < deg; ++i) {
+      for (unsigned j = i + 1; j < deg; ++j) {
+        ASSERT_EQ(table.test(u, i, j), lazy.test(u, i, j))
+            << u << " " << i << " " << j;
+        ASSERT_EQ(s.test(u, i, j), s.test(u, j, i));
+      }
+    }
+  }
 }
 
 TEST(Oracles, TableAndLazyAgreeForEveryBehavior) {

@@ -83,6 +83,96 @@ TEST(BitVec, AssignAndClearAll) {
   EXPECT_EQ(b.count(), 0u);
 }
 
+// Regressions for the shift-by-width edge cases in extract(): len == 64
+// (mask shift), word-aligned starts (off == 0 guards the second shift),
+// and straddles that pull bits from two words.
+TEST(BitVec, ExtractFullWordAtStartZero) {
+  BitVec b(128);
+  for (std::uint64_t i = 0; i < 64; i += 3) b.set(i);
+  std::uint64_t expect = 0;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    if (b.get(i)) expect |= std::uint64_t{1} << i;
+  }
+  EXPECT_EQ(b.extract(0, 64), expect);
+}
+
+TEST(BitVec, ExtractStraddleAtStart63) {
+  BitVec b(192);
+  b.set(63);
+  b.set(64);
+  b.set(126);
+  // start 63, len 64: bit 0 from word 0's top bit, bits 1..63 from word 1.
+  const std::uint64_t got = b.extract(63, 64);
+  EXPECT_EQ(got & 1u, 1u);                          // bit 63 -> slot 0
+  EXPECT_EQ((got >> 1) & 1u, 1u);                   // bit 64 -> slot 1
+  EXPECT_EQ((got >> 63) & 1u, 1u);                  // bit 126 -> slot 63
+  EXPECT_EQ(got, (std::uint64_t{1} << 63) | 0b11u);
+}
+
+TEST(BitVec, ExtractWordAlignedStart64) {
+  BitVec b(192);
+  b.set(64);
+  b.set(127);
+  // start 64 is word-aligned: off == 0 must not touch word 2.
+  b.set(128);
+  EXPECT_EQ(b.extract(64, 64), (std::uint64_t{1} << 63) | 1u);
+}
+
+TEST(BitVec, ExtractLastWordOfExactMultiple) {
+  // start + len == size() with size a word multiple: the w + 1 load must
+  // not run off the end of words_.
+  BitVec b(128);
+  b.set(127);
+  EXPECT_EQ(b.extract(64, 64), std::uint64_t{1} << 63);
+  EXPECT_EQ(b.extract(127, 1), 1u);
+}
+
+TEST(BitVec, ExtractMatchesGetOnRandomStraddles) {
+  Rng rng(0xE17);
+  BitVec b(400);
+  for (std::uint64_t i = 0; i < 400; ++i) {
+    if (rng.below(2) == 1) b.set(i);
+  }
+  for (int trial = 0; trial < 2000; ++trial) {
+    const unsigned len = 1 + static_cast<unsigned>(rng.below(64));
+    const std::uint64_t start = rng.below(400 - len + 1);
+    const std::uint64_t got = b.extract(start, len);
+    for (unsigned i = 0; i < len; ++i) {
+      ASSERT_EQ((got >> i) & 1u, b.get(start + i) ? 1u : 0u)
+          << "start=" << start << " len=" << len << " i=" << i;
+    }
+    if (len < 64) {
+      ASSERT_EQ(got >> len, 0u) << "stray high bits past len=" << len;
+    }
+  }
+}
+
+TEST(Transpose64, MatchesNaiveOnRandomMatrices) {
+  Rng rng(0x7A5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::uint64_t a[64], orig[64];
+    for (auto& w : a) w = rng();
+    for (int r = 0; r < 64; ++r) orig[r] = a[r];
+    transpose64(a);
+    for (int r = 0; r < 64; ++r) {
+      for (int c = 0; c < 64; ++c) {
+        ASSERT_EQ((a[r] >> c) & 1u, (orig[c] >> r) & 1u)
+            << "r=" << r << " c=" << c;
+      }
+    }
+  }
+}
+
+TEST(Transpose64, Involution) {
+  Rng rng(0x7A6);
+  std::uint64_t a[64], orig[64];
+  for (auto& w : a) w = rng();
+  for (int r = 0; r < 64; ++r) orig[r] = a[r];
+  transpose64(a);
+  transpose64(a);
+  for (int r = 0; r < 64; ++r) EXPECT_EQ(a[r], orig[r]);
+}
+
 TEST(StampSet, InsertContainsClear) {
   StampSet s(8);
   EXPECT_TRUE(s.insert(3));
