@@ -25,9 +25,12 @@
 //       setup, so repeated specs pay it once; per-request cold/warm setup
 //       cost and cache counters are reported.
 //
-//   mmdiag_cli info <spec...> [--rule R]
+//   mmdiag_cli info <spec...> [--rule R] [--memory]
 //       Print the topology's constants and its certified partition under
 //       probe rule R (least-first | spread | least-sync | hash-spread).
+//       --memory adds the CSR footprint (estimated, never built, when the
+//       instance resolves to the implicit view) against ImplicitGraph's
+//       O(1) bytes.
 //
 //   mmdiag_cli fuzz [--cases N] [--seed S] [--out-dir DIR] ...
 //   mmdiag_cli fuzz --replay FILE
@@ -74,7 +77,8 @@ int usage() {
             << "  mmdiag_cli serve --requests FILE [--threads N] "
                "[--cache-capacity C]\n"
             << "  mmdiag_cli info <spec...> "
-               "[--rule least-first|spread|least-sync|hash-spread]\n"
+               "[--rule least-first|spread|least-sync|hash-spread] "
+               "[--memory]\n"
             << "  mmdiag_cli fuzz [--cases N] [--seed S] [--out-dir DIR] "
                "[--max-bugs K] [--budget-seconds T]\n"
             << "             [--sabotage none|rule-mismatch|drop-fault]\n"
@@ -222,6 +226,8 @@ int cmd_diagnose_batch(const std::string& dir, unsigned threads) {
   // by canonical spec, and each group fans out over one BatchDiagnoser.
   EngineOptions engine_options;
   engine_options.threads = 1;  // BatchDiagnoser brings its own pool
+  // Syndrome files address rows through the materialised CSR layout.
+  engine_options.graph_mode = GraphMode::kCsr;
   DiagnosisEngine engine(engine_options);
   PinnedResolver resolve(engine);
 
@@ -323,6 +329,7 @@ int cmd_diagnose(const std::vector<std::string>& args) {
   }
   EngineOptions engine_options;
   engine_options.threads = 1;
+  engine_options.graph_mode = GraphMode::kCsr;
   DiagnosisEngine engine(engine_options);
   PinnedResolver resolve(engine);
   const ParsedSyndrome loaded = read_syndrome(in, std::ref(resolve));
@@ -401,6 +408,7 @@ int cmd_serve(const std::vector<std::string>& args) {
   EngineOptions engine_options;
   engine_options.threads = threads;
   engine_options.cache_capacity = cache_capacity;
+  engine_options.graph_mode = GraphMode::kCsr;
   DiagnosisEngine engine(engine_options);
   PinnedResolver resolve(engine);
 
@@ -501,9 +509,14 @@ int cmd_serve(const std::vector<std::string>& args) {
 int cmd_info(const std::vector<std::string>& args) {
   std::string spec;
   ParentRule rule = ParentRule::kSpread;
+  bool show_memory = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--rule" && i + 1 < args.size()) {
       rule = parent_rule_from_string(args[++i]);
+      continue;
+    }
+    if (args[i] == "--memory") {
+      show_memory = true;
       continue;
     }
     if (!spec.empty()) spec += ' ';
@@ -512,7 +525,9 @@ int cmd_info(const std::vector<std::string>& args) {
   if (spec.empty()) return usage();
   const auto topo = make_topology_from_spec(spec);
   const auto info = topo->info();
-  const Graph graph = topo->build_graph();
+  // The same auto rule the engine applies: large implicit-capable instances
+  // never materialise their CSR here — info stays O(N) memory at any size.
+  const bool implicit = resolve_implicit_mode(GraphMode::kAuto, info);
   std::cout << info.name << " (" << info.family << ")\n"
             << "  spec:           " << topo->spec() << "\n"
             << "  nodes:          " << info.num_nodes << "\n"
@@ -520,11 +535,33 @@ int cmd_info(const std::vector<std::string>& args) {
             << "  connectivity:   " << info.connectivity << "\n"
             << "  diagnosability: " << info.diagnosability << "\n"
             << "  fault bound:    " << topo->default_fault_bound() << "\n"
-            << "  probe rule:     " << parent_rule_to_string(rule) << "\n";
+            << "  probe rule:     " << parent_rule_to_string(rule) << "\n"
+            << "  graph view:     " << (implicit ? "implicit" : "csr") << "\n";
+  Graph graph;
+  if (!implicit) graph = topo->build_graph();
+  if (show_memory) {
+    const std::uint64_t csr_bytes =
+        implicit ? csr_memory_bytes_estimate(info.num_nodes, info.degree)
+                 : graph.memory_bytes();
+    std::cout << "  memory:         csr " << csr_bytes << " B"
+              << (implicit ? " (estimated, not built)" : "");
+    if (info.degree <= ImplicitGraph::kMaxDegree &&
+        info.num_nodes <= static_cast<std::uint64_t>(kNoNode)) {
+      const ImplicitGraph view(*topo);
+      std::cout << " vs implicit " << view.memory_bytes() << " B";
+    }
+    std::cout << "\n";
+  }
   try {
-    const auto cp = find_certified_partition(*topo, graph,
-                                             topo->default_fault_bound(),
-                                             rule, true);
+    CertifiedPartition cp;
+    if (implicit) {
+      const ImplicitGraph view(*topo);
+      cp = find_certified_partition(*topo, view, topo->default_fault_bound(),
+                                    rule, true);
+    } else {
+      cp = find_certified_partition(*topo, graph, topo->default_fault_bound(),
+                                    rule, true);
+    }
     std::cout << "  partition:      " << cp.plan->description() << "\n";
   } catch (const DiagnosisUnsupportedError& e) {
     std::cout << "  partition:      UNSUPPORTED\n" << e.what();

@@ -108,6 +108,39 @@ else
   echo "hotpath smoke: bench_hotpath not built, skipped"
 fi
 
+if [ -x bench/bench_scale ]; then
+  # The scale smoke must show the implicit-topology path solving a >= 2^16
+  # node instance inside a modest memory budget, bit-identical to the CSR
+  # view (the binary itself exits non-zero on divergence; the JSON fields
+  # are re-checked here so a reporting bug cannot mask one).
+  ./bench/bench_scale --smoke --out BENCH_scale.json
+  if command -v python3 >/dev/null; then
+    python3 - <<'PY'
+import json
+with open("BENCH_scale.json") as f:
+    report = json.load(f)
+rows = report["results"]
+assert rows, "BENCH_scale.json has no results"
+assert any(r["nodes"] >= 65536 for r in rows), \
+    "no row reached 2^16 nodes: the scale path never scaled"
+for r in rows:
+    if r["csr_checked"]:
+        assert r["identical_to_csr"], \
+            f"implicit view diverged from the CSR view: {r}"
+    assert r["implicit_bytes"] < r["csr_bytes"], \
+        f"implicit view not smaller than CSR: {r}"
+    assert r["peak_rss_kb"] < 262144, \
+        f"scale smoke exceeded the 256 MB peak-RSS budget: {r}"
+print(f"scale smoke: {len(rows)} rows, implicit view bit-identical to CSR "
+      "inside the peak-RSS budget")
+PY
+  else
+    echo "scale smoke: python3 unavailable, JSON validation skipped"
+  fi
+else
+  echo "scale smoke: bench_scale not built, skipped"
+fi
+
 # UBSan pass over the word-level kernels the bitsliced path leans on:
 # extract/row_bits/transpose64 shift edge cases trap at runtime under
 # -fsanitize=undefined instead of silently wrapping. Only the three suites

@@ -17,22 +17,17 @@ bool probe_component(SetBuilder& builder, const FaultFreeOracle& oracle,
   return result.all_healthy && result.members.size() == plan.component_size();
 }
 
-}  // namespace
-
-bool component_certifies(const Graph& graph, const PartitionPlan& plan,
-                         std::uint32_t comp, unsigned delta, ParentRule rule) {
-  SetBuilder builder(graph, rule);
-  const FaultFreeOracle oracle(graph);
-  return probe_component(builder, oracle, plan, comp, delta);
-}
-
-CertifiedPartition find_certified_partition(const Topology& topology,
-                                            const Graph& graph, unsigned delta,
-                                            ParentRule rule,
-                                            bool validate_all) {
+// One calibration walk for both GraphView models: the builder consults the
+// same fault-free tests in the same order on either, so the accepted plan
+// and calibration_lookups are identical by construction.
+template <class GV>
+CertifiedPartition find_certified_partition_on(const Topology& topology,
+                                               const GV& graph, unsigned delta,
+                                               ParentRule rule,
+                                               bool validate_all) {
   const auto plans = topology.partition_plans();
   SetBuilder builder(graph, rule);
-  const FaultFreeOracle oracle(graph);
+  const FaultFreeOracle oracle;
   std::ostringstream rejections;
 
   for (const auto& plan : plans) {
@@ -74,6 +69,38 @@ CertifiedPartition find_certified_partition(const Topology& topology,
       << delta << " under rule " << to_string(rule) << "\n"
       << rejections.str();
   throw DiagnosisUnsupportedError(msg.str());
+}
+
+}  // namespace
+
+bool component_certifies(const Graph& graph, const PartitionPlan& plan,
+                         std::uint32_t comp, unsigned delta, ParentRule rule) {
+  SetBuilder builder(graph, rule);
+  const FaultFreeOracle oracle;
+  return probe_component(builder, oracle, plan, comp, delta);
+}
+
+bool component_certifies(const ImplicitGraph& graph, const PartitionPlan& plan,
+                         std::uint32_t comp, unsigned delta, ParentRule rule) {
+  SetBuilder builder(graph, rule);
+  const FaultFreeOracle oracle;
+  return probe_component(builder, oracle, plan, comp, delta);
+}
+
+CertifiedPartition find_certified_partition(const Topology& topology,
+                                            const Graph& graph, unsigned delta,
+                                            ParentRule rule,
+                                            bool validate_all) {
+  return find_certified_partition_on(topology, graph, delta, rule,
+                                     validate_all);
+}
+
+CertifiedPartition find_certified_partition(const Topology& topology,
+                                            const ImplicitGraph& graph,
+                                            unsigned delta, ParentRule rule,
+                                            bool validate_all) {
+  return find_certified_partition_on(topology, graph, delta, rule,
+                                     validate_all);
 }
 
 }  // namespace mmdiag

@@ -51,8 +51,20 @@ struct CertifiedPartition {
     const Topology& topology, const Graph& graph, unsigned delta,
     ParentRule rule = ParentRule::kSpread, bool validate_all = true);
 
+/// Implicit-view calibration: identical walk, identical accepted plan and
+/// calibration look-ups (the builder consults the same fault-free tests in
+/// the same order), but no edge is ever materialised — O(N) bits of builder
+/// scratch is the whole footprint.
+[[nodiscard]] CertifiedPartition find_certified_partition(
+    const Topology& topology, const ImplicitGraph& graph, unsigned delta,
+    ParentRule rule = ParentRule::kSpread, bool validate_all = true);
+
 /// True iff the single component `comp` of `plan` certifies when fault-free.
 [[nodiscard]] bool component_certifies(const Graph& graph,
+                                       const PartitionPlan& plan,
+                                       std::uint32_t comp, unsigned delta,
+                                       ParentRule rule);
+[[nodiscard]] bool component_certifies(const ImplicitGraph& graph,
                                        const PartitionPlan& plan,
                                        std::uint32_t comp, unsigned delta,
                                        ParentRule rule);

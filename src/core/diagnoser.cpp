@@ -14,6 +14,12 @@ const Graph& deref_graph(const std::shared_ptr<const Graph>& graph) {
   return *graph;
 }
 
+const ImplicitGraph& deref_implicit(
+    const std::shared_ptr<const ImplicitGraph>& graph) {
+  if (!graph) throw std::invalid_argument("Diagnoser: null graph");
+  return *graph;
+}
+
 unsigned resolve_delta(const Topology& topology, const DiagnoserOptions& o) {
   if (o.delta != 0) return o.delta;
   const unsigned bound = topology.default_fault_bound();
@@ -45,6 +51,44 @@ Diagnoser::Diagnoser(const Graph& graph, CertifiedPartition partition,
       partition_(std::move(partition)),
       probe_builder_(graph, options.rule),
       final_builder_(graph, options.final_rule) {
+  check_adopted_partition();
+  // boundary_seen_ is sized lazily by diagnose_baseline — it is the only
+  // user, and production paths should not carry a per-node array for it.
+}
+
+Diagnoser::Diagnoser(std::shared_ptr<const Graph> graph,
+                     CertifiedPartition partition, DiagnoserOptions options)
+    : Diagnoser(deref_graph(graph), std::move(partition), options) {
+  graph_owner_ = std::move(graph);
+}
+
+Diagnoser::Diagnoser(const Topology& topology, const ImplicitGraph& graph,
+                     DiagnoserOptions options)
+    : Diagnoser(graph,
+                find_certified_partition(topology, graph,
+                                         resolve_delta(topology, options),
+                                         options.rule,
+                                         options.validate_all_components),
+                options) {}
+
+Diagnoser::Diagnoser(const ImplicitGraph& graph, CertifiedPartition partition,
+                     DiagnoserOptions options)
+    : implicit_(&graph),
+      options_(options),
+      delta_(partition.delta),
+      partition_(std::move(partition)),
+      probe_builder_(graph, options.rule),
+      final_builder_(graph, options.final_rule) {
+  check_adopted_partition();
+}
+
+Diagnoser::Diagnoser(std::shared_ptr<const ImplicitGraph> graph,
+                     CertifiedPartition partition, DiagnoserOptions options)
+    : Diagnoser(deref_implicit(graph), std::move(partition), options) {
+  implicit_owner_ = std::move(graph);
+}
+
+void Diagnoser::check_adopted_partition() const {
   if (!partition_.plan) {
     throw std::invalid_argument("Diagnoser: certified partition has no plan");
   }
@@ -63,14 +107,13 @@ Diagnoser::Diagnoser(const Graph& graph, CertifiedPartition partition,
         ") conflicts with the adopted partition's certified bound (" +
         std::to_string(partition_.delta) + "); pass 0 to adopt the bound");
   }
-  // boundary_seen_ is sized lazily by diagnose_baseline — it is the only
-  // user, and production paths should not carry a per-node array for it.
 }
 
-Diagnoser::Diagnoser(std::shared_ptr<const Graph> graph,
-                     CertifiedPartition partition, DiagnoserOptions options)
-    : Diagnoser(deref_graph(graph), std::move(partition), options) {
-  graph_owner_ = std::move(graph);
+void Diagnoser::require_csr(const char* what) const {
+  if (graph_ == nullptr) {
+    throw std::logic_error(std::string("Diagnoser: ") + what +
+                           " requires a CSR graph, not an implicit view");
+  }
 }
 
 // Type-erased entry point: the same driver body instantiated on the base
@@ -88,6 +131,7 @@ DiagnosisResult Diagnoser::diagnose(const SyndromeOracle& oracle) {
 // adjacency with dedup scratch and a final sort) is what the hot-path bench
 // compares against.
 DiagnosisResult Diagnoser::diagnose_baseline(const SyndromeOracle& oracle) {
+  require_csr("diagnose_baseline");
   oracle.reset_lookups();
   const Timer solve_timer;
   DiagnosisResult out;
@@ -161,6 +205,7 @@ DiagnosisResult Diagnoser::diagnose_baseline(const SyndromeOracle& oracle) {
 // per-lane probe counts and look-ups match the scalar path bit for bit.
 std::vector<DiagnosisResult> Diagnoser::diagnose_cohort(
     const std::vector<const TableOracle*>& lanes) {
+  require_csr("diagnose_cohort");
   if (lanes.empty() || lanes.size() > BitSlicedOracle::kMaxLanes) {
     throw std::invalid_argument("Diagnoser: cohort width must be 1..64 (got " +
                                 std::to_string(lanes.size()) + ")");
@@ -292,6 +337,9 @@ DiagnosisResult diagnose_devirtualized(Diagnoser& diagnoser,
   }
   if (type == typeid(LazyOracle)) {
     return diagnoser.diagnose(static_cast<const LazyOracle&>(oracle));
+  }
+  if (type == typeid(ImplicitLazyOracle)) {
+    return diagnoser.diagnose(static_cast<const ImplicitLazyOracle&>(oracle));
   }
   if (type == typeid(FaultFreeOracle)) {
     return diagnoser.diagnose(static_cast<const FaultFreeOracle&>(oracle));

@@ -101,6 +101,19 @@ class Diagnoser {
   Diagnoser(std::shared_ptr<const Graph> graph, CertifiedPartition partition,
             DiagnoserOptions options = {});
 
+  /// Implicit-view constructors: the same three shapes over an
+  /// ImplicitGraph. Phases 1-3 run the identical driver bodies through
+  /// closed-form adjacency, so results and look-up counts match the CSR
+  /// constructors bit for bit; only diagnose_cohort and diagnose_baseline
+  /// (which read CSR layout directly) are unavailable and throw
+  /// std::logic_error.
+  Diagnoser(const Topology& topology, const ImplicitGraph& graph,
+            DiagnoserOptions options = {});
+  Diagnoser(const ImplicitGraph& graph, CertifiedPartition partition,
+            DiagnoserOptions options = {});
+  Diagnoser(std::shared_ptr<const ImplicitGraph> graph,
+            CertifiedPartition partition, DiagnoserOptions options = {});
+
   /// Diagnose one syndrome. The oracle's look-up counter is reset first.
   /// This is the type-erased entry point: phases 1-2 run with virtual
   /// dispatch per look-up.
@@ -144,10 +157,21 @@ class Diagnoser {
 
  private:
   template <class O>
-  DiagnosisResult diagnose_impl(const O& oracle);
+  DiagnosisResult diagnose_impl(const O& oracle) {
+    if (implicit_ != nullptr) return diagnose_impl_on<O>(oracle, *implicit_);
+    return diagnose_impl_on<O>(oracle, *graph_);
+  }
+
+  template <class O, class GV>
+  DiagnosisResult diagnose_impl_on(const O& oracle, const GV& g);
+
+  void check_adopted_partition() const;
+  void require_csr(const char* what) const;
 
   std::shared_ptr<const Graph> graph_owner_;  // null on the raw-pointer path
-  const Graph* graph_;
+  const Graph* graph_ = nullptr;  // exactly one of graph_ / implicit_ is set
+  std::shared_ptr<const ImplicitGraph> implicit_owner_;
+  const ImplicitGraph* implicit_ = nullptr;
   DiagnoserOptions options_;
   unsigned delta_;
   CertifiedPartition partition_;
@@ -170,8 +194,8 @@ class Diagnoser {
 // both paths — divergence between them is impossible by construction.
 // ---------------------------------------------------------------------------
 
-template <class O>
-DiagnosisResult Diagnoser::diagnose_impl(const O& oracle) {
+template <class O, class GV>
+DiagnosisResult Diagnoser::diagnose_impl_on(const O& oracle, const GV& g) {
   oracle.reset_lookups();
   const Timer solve_timer;
   DiagnosisResult out;
@@ -219,10 +243,10 @@ DiagnosisResult Diagnoser::diagnose_impl(const O& oracle) {
   // neighbour. Equivalent to walking every member's adjacency (same set,
   // by definition of N), ~Δ× cheaper, and ascending by construction — no
   // sort, no dedup scratch.
-  const std::size_t num_nodes = graph_->num_nodes();
+  const std::size_t num_nodes = g.num_nodes();
   for (Node v = 0; v < num_nodes; ++v) {
     if (final_builder_.in_last_set(v)) continue;
-    for (const Node w : graph_->neighbors(v)) {
+    for (const Node w : g.neighbors(v)) {
       if (final_builder_.in_last_set(w)) {
         out.faults.push_back(v);
         break;

@@ -46,20 +46,44 @@ SetBuilder::SetBuilder(const Graph& g, ParentRule rule)
   // should not carry its per-node arrays.
 }
 
+SetBuilder::SetBuilder(const ImplicitGraph& g, ParentRule rule)
+    : implicit_(&g), rule_(rule) {
+  const std::size_t n = g.num_nodes();
+  in_set_.resize(n);
+  is_contributor_.resize(n);
+  frontier_words_[0].assign((n + 63) / 64, 0u);
+  frontier_words_[1].assign((n + 63) / 64, 0u);
+  parent_pos_of_.assign(n, 0u);
+}
+
+void SetBuilder::require_csr(const char* what) const {
+  if (graph_ == nullptr) {
+    throw std::logic_error(std::string("Set_Builder: ") + what +
+                           " requires a CSR graph, not an implicit view");
+  }
+}
+
 // Type-erased entry points: one instantiation of the same run_impl on the
 // base class, where every look-up goes through the virtual test_impl. Kept
 // (rather than downcasting) so the dispatch benches and the equivalence
 // suite can measure/compare the virtual path in the same binary.
 SetBuilderResult SetBuilder::run(const SyndromeOracle& oracle, Node u0,
                                  unsigned delta) {
-  return run_impl<SyndromeOracle>(oracle, u0, delta, nullptr, 0);
+  if (implicit_ != nullptr) {
+    return run_impl<SyndromeOracle>(oracle, *implicit_, u0, delta, nullptr, 0);
+  }
+  return run_impl<SyndromeOracle>(oracle, *graph_, u0, delta, nullptr, 0);
 }
 
 SetBuilderResult SetBuilder::run_restricted(const SyndromeOracle& oracle,
                                             Node u0, unsigned delta,
                                             const PartitionPlan& plan,
                                             std::uint32_t comp) {
-  return run_impl<SyndromeOracle>(oracle, u0, delta, &plan, comp);
+  if (implicit_ != nullptr) {
+    return run_impl<SyndromeOracle>(oracle, *implicit_, u0, delta, &plan,
+                                    comp);
+  }
+  return run_impl<SyndromeOracle>(oracle, *graph_, u0, delta, &plan, comp);
 }
 
 void SetBuilder::run_sliced(const BitSlicedOracle& oracle, Node u0,
@@ -107,6 +131,7 @@ void SetBuilder::run_sliced_impl(const BitSlicedOracle& oracle, Node u0,
                                  unsigned delta, std::uint64_t active,
                                  const PartitionPlan* plan, std::uint32_t comp,
                                  SlicedLaneResult* out) {
+  require_csr("run_sliced");
   const Graph& g = *graph_;
   if (u0 >= g.num_nodes()) throw std::invalid_argument("Set_Builder: bad seed");
   if (plan != nullptr && plan->component_of(u0) != comp) {
@@ -483,6 +508,7 @@ SetBuilderResult SetBuilder::run_baseline_impl(const SyndromeOracle& oracle,
                                                Node u0, unsigned delta,
                                                const PartitionPlan* plan,
                                                std::uint32_t comp) {
+  require_csr("run_baseline");
   const Graph& g = *graph_;
   if (u0 >= g.num_nodes()) throw std::invalid_argument("Set_Builder: bad seed");
   if (plan != nullptr && plan->component_of(u0) != comp) {

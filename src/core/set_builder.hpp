@@ -75,6 +75,8 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "graph/graph_view.hpp"
+#include "graph/implicit_graph.hpp"
 #include "mm/oracle.hpp"
 #include "topology/partition.hpp"
 #include "util/bitvec.hpp"
@@ -130,6 +132,13 @@ class SetBuilder {
  public:
   explicit SetBuilder(const Graph& g, ParentRule rule = ParentRule::kSpread);
 
+  /// Implicit-adjacency builder: the same driver over a view that computes
+  /// neighbours on the fly. Scratch stays O(N) bits/words; no O(E) state.
+  /// The baseline and sliced paths remain CSR-only (they read packed rows
+  /// by graph layout) and throw std::logic_error on this builder.
+  explicit SetBuilder(const ImplicitGraph& g,
+                      ParentRule rule = ParentRule::kSpread);
+
   /// Unrestricted run (the final phase of the §5 driver) — type-erased.
   SetBuilderResult run(const SyndromeOracle& oracle, Node u0, unsigned delta);
 
@@ -143,13 +152,19 @@ class SetBuilder {
   /// word-parallel admission path).
   template <StaticOracle O>
   SetBuilderResult run(const O& oracle, Node u0, unsigned delta) {
-    return run_impl<O>(oracle, u0, delta, nullptr, 0);
+    if (implicit_ != nullptr) {
+      return run_impl<O>(oracle, *implicit_, u0, delta, nullptr, 0);
+    }
+    return run_impl<O>(oracle, *graph_, u0, delta, nullptr, 0);
   }
   template <StaticOracle O>
   SetBuilderResult run_restricted(const O& oracle, Node u0, unsigned delta,
                                   const PartitionPlan& plan,
                                   std::uint32_t comp) {
-    return run_impl<O>(oracle, u0, delta, &plan, comp);
+    if (implicit_ != nullptr) {
+      return run_impl<O>(oracle, *implicit_, u0, delta, &plan, comp);
+    }
+    return run_impl<O>(oracle, *graph_, u0, delta, &plan, comp);
   }
 
   /// The pre-optimisation implementation, kept verbatim as the measured
@@ -223,9 +238,10 @@ class SetBuilder {
     std::uint64_t lanes;
   };
 
-  template <class O>
-  SetBuilderResult run_impl(const O& oracle, Node u0, unsigned delta,
-                            const PartitionPlan* plan, std::uint32_t comp);
+  template <class O, class GV>
+  SetBuilderResult run_impl(const O& oracle, const GV& g, Node u0,
+                            unsigned delta, const PartitionPlan* plan,
+                            std::uint32_t comp);
 
   void run_sliced_impl(const BitSlicedOracle& oracle, Node u0, unsigned delta,
                        std::uint64_t active, const PartitionPlan* plan,
@@ -235,7 +251,10 @@ class SetBuilder {
                                      unsigned delta, const PartitionPlan* plan,
                                      std::uint32_t comp);
 
-  const Graph* graph_;
+  void require_csr(const char* what) const;
+
+  const Graph* graph_ = nullptr;          // exactly one of graph_ /
+  const ImplicitGraph* implicit_ = nullptr;  // implicit_ is non-null
   ParentRule rule_;
   bool stop_on_certify_ = false;
   bool frontier_clean_ = true;  // bitmaps all-zero (see run_impl)
@@ -287,11 +306,12 @@ class SetBuilder {
 // is visible to the optimiser at every call site.
 // ---------------------------------------------------------------------------
 
-template <class O>
-SetBuilderResult SetBuilder::run_impl(const O& oracle, Node u0, unsigned delta,
+template <class O, class GV>
+SetBuilderResult SetBuilder::run_impl(const O& oracle, const GV& g, Node u0,
+                                      unsigned delta,
                                       const PartitionPlan* plan,
                                       std::uint32_t comp) {
-  const Graph& g = *graph_;
+  static_assert(GraphView<GV>);
   if (u0 >= g.num_nodes()) throw std::invalid_argument("Set_Builder: bad seed");
   if (plan != nullptr && plan->component_of(u0) != comp) {
     throw std::invalid_argument("Set_Builder: seed outside its component");

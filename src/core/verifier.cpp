@@ -1,5 +1,7 @@
 #include "core/verifier.hpp"
 
+#include <stdexcept>
+
 namespace mmdiag {
 
 bool syndrome_consistent(const Graph& g, const SyndromeOracle& oracle,
@@ -22,6 +24,11 @@ bool syndrome_consistent(const Graph& g, const SyndromeOracle& oracle,
 
 DiagnosisResult diagnose_and_verify(Diagnoser& diagnoser,
                                     const SyndromeOracle& oracle) {
+  if (!oracle.has_graph()) {
+    throw std::invalid_argument(
+        "diagnose_and_verify: verification reads the oracle's CSR graph; "
+        "implicit-view oracles are not supported here");
+  }
   DiagnosisResult result = diagnoser.diagnose(oracle);
   if (!result.success) return result;
   const FaultSet claimed(oracle.graph().num_nodes(), result.faults);

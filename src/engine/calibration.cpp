@@ -8,7 +8,7 @@ namespace mmdiag {
 
 std::shared_ptr<const Calibration> build_calibration(
     std::unique_ptr<const Topology> topology, unsigned delta, ParentRule rule,
-    bool validate_all) {
+    bool validate_all, GraphMode mode) {
   if (!topology) {
     throw std::invalid_argument("build_calibration: null topology");
   }
@@ -21,13 +21,25 @@ std::shared_ptr<const Calibration> build_calibration(
           "§5's validity conditions); request an explicit delta");
     }
   }
+  const bool implicit = resolve_implicit_mode(mode, topology->info());
   const Timer timer;
   auto calibration = std::make_shared<Calibration>();
   calibration->spec = topology->spec();
-  calibration->graph = topology->build_graph();
-  calibration->partition = find_certified_partition(
-      *topology, calibration->graph, delta, rule, validate_all);
   calibration->topology = std::move(topology);
+  if (implicit) {
+    // No edges are ever materialised: the view computes adjacency on the
+    // fly and the certification walk runs straight through it.
+    calibration->implicit_view =
+        std::make_shared<const ImplicitGraph>(calibration->topology);
+    calibration->partition =
+        find_certified_partition(*calibration->topology,
+                                 *calibration->implicit_view, delta, rule,
+                                 validate_all);
+  } else {
+    calibration->graph = calibration->topology->build_graph();
+    calibration->partition = find_certified_partition(
+        *calibration->topology, calibration->graph, delta, rule, validate_all);
+  }
   calibration->build_seconds = timer.seconds();
   return calibration;
 }

@@ -9,24 +9,54 @@
 // invalidate a bundle a Diagnoser is still using.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
 #include "core/certified_partition.hpp"
 #include "graph/graph.hpp"
+#include "graph/implicit_graph.hpp"
 #include "topology/topology.hpp"
 
 namespace mmdiag {
 
+/// Which GraphView a calibration (and the Diagnosers built on it) uses.
+/// kAuto picks kImplicit for implicit-capable topologies at or above
+/// kImplicitAutoNodeThreshold nodes — where the CSR arrays start to
+/// dominate memory — and kCsr below it, keeping small instances on the
+/// path that also serves materialised-syndrome (TableOracle) requests.
+enum class GraphMode : std::uint8_t { kAuto, kCsr, kImplicit };
+
+inline constexpr std::uint64_t kImplicitAutoNodeThreshold = std::uint64_t{1}
+                                                            << 17;
+
+[[nodiscard]] inline bool resolve_implicit_mode(GraphMode mode,
+                                                const TopologyInfo& info) {
+  switch (mode) {
+    case GraphMode::kCsr:
+      return false;
+    case GraphMode::kImplicit:
+      return true;
+    case GraphMode::kAuto:
+      break;
+  }
+  return info.num_nodes >= kImplicitAutoNodeThreshold &&
+         info.degree <= ImplicitGraph::kMaxDegree;
+}
+
 struct Calibration {
   std::string spec;  // canonical Topology::spec() — the cache-key stem
-  std::unique_ptr<const Topology> topology;
-  Graph graph;
+  std::shared_ptr<const Topology> topology;
+  Graph graph;  // empty when is_implicit()
+  std::shared_ptr<const ImplicitGraph> implicit_view;  // null when CSR
   CertifiedPartition partition;  // carries its calibration rule and delta
   double build_seconds = 0;      // graph build + partition calibration cost
 
   [[nodiscard]] unsigned delta() const noexcept { return partition.delta; }
   [[nodiscard]] ParentRule rule() const noexcept { return partition.rule; }
+  [[nodiscard]] bool is_implicit() const noexcept {
+    return implicit_view != nullptr;
+  }
 };
 
 /// An aliasing handle to the bundle's graph: the pointee is
@@ -39,13 +69,23 @@ struct Calibration {
   return std::shared_ptr<const Graph>(std::move(calibration), graph);
 }
 
+/// The implicit-view counterpart of graph_handle. The view already owns the
+/// topology through its own shared_ptr, so the handle keeps everything a
+/// Diagnoser needs alive.
+[[nodiscard]] inline std::shared_ptr<const ImplicitGraph> implicit_handle(
+    const std::shared_ptr<const Calibration>& calibration) {
+  return calibration->implicit_view;
+}
+
 /// Build a bundle from an already-parsed topology. `delta` = 0 resolves to
 /// topology->default_fault_bound() (throws DiagnosisUnsupportedError when
 /// that is unknown, with the same guidance the Diagnoser gives); non-zero
 /// delta is used as-is. Throws DiagnosisUnsupportedError when no partition
-/// plan certifies the bound under `rule`.
+/// plan certifies the bound under `rule`. `mode` selects the GraphView: in
+/// implicit mode no edge is ever materialised — calibration itself runs
+/// through the closed-form adjacency.
 [[nodiscard]] std::shared_ptr<const Calibration> build_calibration(
     std::unique_ptr<const Topology> topology, unsigned delta, ParentRule rule,
-    bool validate_all);
+    bool validate_all, GraphMode mode = GraphMode::kCsr);
 
 }  // namespace mmdiag

@@ -12,6 +12,23 @@
 
 namespace mmdiag {
 
+namespace {
+
+/// Diagnoser over whichever GraphView the calibration carries, with shared
+/// ownership of the whole bundle either way.
+std::unique_ptr<Diagnoser> make_calibrated_diagnoser(
+    const std::shared_ptr<const Calibration>& cal,
+    const DiagnoserOptions& options) {
+  if (cal->is_implicit()) {
+    return std::make_unique<Diagnoser>(implicit_handle(cal), cal->partition,
+                                       options);
+  }
+  return std::make_unique<Diagnoser>(graph_handle(cal), cal->partition,
+                                     options);
+}
+
+}  // namespace
+
 DiagnosisEngine::DiagnosisEngine(EngineOptions options)
     : options_(options),
       capacity_(options.cache_capacity == 0 ? 1 : options.cache_capacity),
@@ -27,10 +44,13 @@ DiagnosisEngine::ResolvedKey DiagnosisEngine::resolve(const std::string& spec,
   out.delta = delta != 0 ? delta : out.topology->default_fault_bound();
   // out.delta may still be 0 (diagnosability unknown): the key is then never
   // inserted because build_calibration throws its descriptive error first.
+  out.implicit = resolve_implicit_mode(options_.graph_mode,
+                                       out.topology->info());
   out.key = out.topology->spec();
   out.key += "|delta=" + std::to_string(out.delta);
   out.key += "|rule=" + parent_rule_to_string(rule);
   if (!validate_all) out.key += "|component0-only";
+  if (out.implicit) out.key += "|implicit";
   return out;
 }
 
@@ -68,7 +88,8 @@ std::shared_ptr<const Calibration> DiagnosisEngine::get_or_build(
   }
 
   std::shared_ptr<const Calibration> built = build_calibration(
-      std::move(resolved.topology), resolved.delta, rule, validate_all);
+      std::move(resolved.topology), resolved.delta, rule, validate_all,
+      resolved.implicit ? GraphMode::kImplicit : GraphMode::kCsr);
   {
     const std::lock_guard<std::mutex> lock(mu_);
     lru_.push_front(Entry{resolved.key, built});
@@ -103,9 +124,10 @@ DiagnosisResult DiagnosisEngine::diagnose(const std::string& spec,
   const std::shared_ptr<const Calibration> cal =
       get_or_build(spec, options_.diagnoser.delta, options_.diagnoser.rule,
                    options_.diagnoser.validate_all_components, &reused);
-  Diagnoser diagnoser(graph_handle(cal), cal->partition, options_.diagnoser);
+  const std::unique_ptr<Diagnoser> diagnoser =
+      make_calibrated_diagnoser(cal, options_.diagnoser);
   const double setup_seconds = setup_timer.seconds();
-  DiagnosisResult result = diagnose_devirtualized(diagnoser, oracle);
+  DiagnosisResult result = diagnose_devirtualized(*diagnoser, oracle);
   result.calibration_reused = reused;
   result.setup_seconds = setup_seconds;
   return result;
@@ -130,7 +152,7 @@ std::vector<DiagnosisResult> DiagnosisEngine::serve(
     std::unordered_map<std::string, std::vector<std::size_t>> by_spec;
     for (std::size_t i = 0; i < requests.size(); ++i) {
       const EngineRequest& rq = requests[i];
-      if (rq.oracle != nullptr &&
+      if (rq.oracle != nullptr && rq.oracle->has_graph() &&
           dynamic_cast<const TableOracle*>(rq.oracle) != nullptr &&
           rq.oracle->graph().max_degree() <= 64) {
         by_spec[rq.spec].push_back(i);
@@ -168,10 +190,8 @@ std::vector<DiagnosisResult> DiagnosisEngine::serve(
       }
       it = scratch
                .emplace(cal.get(),
-                        LaneDiagnoser{cal, std::make_unique<Diagnoser>(
-                                               graph_handle(cal),
-                                               cal->partition,
-                                               options_.diagnoser)})
+                        LaneDiagnoser{cal, make_calibrated_diagnoser(
+                                               cal, options_.diagnoser)})
                .first;
     }
     return *it->second.diagnoser;
@@ -197,6 +217,19 @@ std::vector<DiagnosisResult> DiagnosisEngine::serve(
             }
             Diagnoser& diagnoser = lane_diagnoser(lane, cal);
             const double setup_seconds = setup_timer.seconds();
+            if (cal->is_implicit()) {
+              // Cohorts bitslice through CSR row layout; an implicit
+              // calibration serves its TableOracle requests scalar instead
+              // (same results, no lockstep).
+              for (std::size_t k = 0; k < idx.size(); ++k) {
+                DiagnosisResult r =
+                    diagnose_devirtualized(diagnoser, *requests[idx[k]].oracle);
+                r.calibration_reused = reused[k];
+                r.setup_seconds = setup_seconds;
+                results[idx[k]] = std::move(r);
+              }
+              return;
+            }
             std::vector<const TableOracle*> cohort;
             cohort.reserve(idx.size());
             for (const std::size_t i : idx) {
@@ -256,13 +289,18 @@ std::unique_ptr<Diagnoser> DiagnosisEngine::make_diagnoser(
   const std::shared_ptr<const Calibration> cal = get_or_build(
       spec, diagnoser_options.delta, diagnoser_options.rule,
       diagnoser_options.validate_all_components, nullptr);
-  return std::make_unique<Diagnoser>(graph_handle(cal), cal->partition,
-                                     diagnoser_options);
+  return make_calibrated_diagnoser(cal, diagnoser_options);
 }
 
 std::unique_ptr<BatchDiagnoser> DiagnosisEngine::make_batch_diagnoser(
     const std::string& spec, unsigned threads) {
   const std::shared_ptr<const Calibration> cal = calibration(spec);
+  if (cal->is_implicit()) {
+    throw std::invalid_argument(
+        "make_batch_diagnoser: batch lanes bitslice through CSR syndrome "
+        "rows; use EngineOptions::graph_mode = GraphMode::kCsr for '" +
+        spec + "'");
+  }
   BatchOptions batch;
   batch.threads = threads;
   batch.diagnoser = options_.diagnoser;

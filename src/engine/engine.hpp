@@ -52,6 +52,12 @@ struct EngineOptions {
   /// Per-request defaults: rule/delta/validate_all select the calibration,
   /// the remaining fields configure each per-request Diagnoser.
   DiagnoserOptions diagnoser;
+  /// GraphView selection for calibrations this engine builds. kAuto keeps
+  /// small instances on CSR (which also serves TableOracle/batch requests)
+  /// and switches large implicit-capable topologies to the O(1)-memory
+  /// ImplicitGraph. The resolved choice is part of the cache key, so one
+  /// engine never conflates the two representations of a spec.
+  GraphMode graph_mode = GraphMode::kAuto;
 };
 
 /// Monotonic cache counters (entries is a snapshot). misses counts actual
@@ -142,6 +148,7 @@ class DiagnosisEngine {
     std::string key;
     std::unique_ptr<const Topology> topology;  // consumed on build
     unsigned delta = 0;
+    bool implicit = false;  // resolved from options_.graph_mode
   };
   [[nodiscard]] ResolvedKey resolve(const std::string& spec, unsigned delta,
                                     ParentRule rule, bool validate_all) const;

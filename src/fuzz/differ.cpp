@@ -8,6 +8,7 @@
 #include "core/batch_diagnoser.hpp"
 #include "core/diagnoser.hpp"
 #include "core/verifier.hpp"
+#include "graph/implicit_graph.hpp"
 #include "mm/fault_set.hpp"
 #include "mm/oracle.hpp"
 #include "topology/registry.hpp"
@@ -230,6 +231,23 @@ DiffReport run_differential(FuzzContext& ctx, const FuzzCase& c,
     } catch (const std::exception& e) {
       report.divergences.push_back(
           {"seq-spread-baseline", std::string("driver threw: ") + e.what()});
+    }
+    // Implicit-graph voice: the same case through closed-form adjacency.
+    // The implicit view enumerates neighbours in CSR order, so faults,
+    // look-ups and probes must all match the materialised reference bit
+    // for bit — any drift is an adjacency-formula bug.
+    if (s.spread->topology->info().degree <= ImplicitGraph::kMaxDegree) {
+      try {
+        const ImplicitGraph iview(*s.spread->topology);
+        Diagnoser diagnoser(iview, s.spread->partition, spread_options);
+        const ImplicitLazyOracle oracle(iview, faults, c.behavior,
+                                        c.behavior_seed);
+        check_dispatch_identical(report, "seq-spread-implicit", *reference,
+                                 diagnoser.diagnose(oracle));
+      } catch (const std::exception& e) {
+        report.divergences.push_back(
+            {"seq-spread-implicit", std::string("driver threw: ") + e.what()});
+      }
     }
   }
 

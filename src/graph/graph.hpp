@@ -43,6 +43,11 @@ class Graph {
   [[nodiscard]] unsigned max_degree() const noexcept { return max_degree_; }
   [[nodiscard]] unsigned min_degree() const noexcept { return min_degree_; }
 
+  /// The p-th neighbour of u. Precondition: p < degree(u).
+  [[nodiscard]] Node neighbor(Node u, unsigned p) const noexcept {
+    return neighbors_[offsets_[u] + p];
+  }
+
   /// Position of v in u's adjacency list, or -1 if absent. O(log Δ).
   [[nodiscard]] int neighbor_position(Node u, Node v) const noexcept;
 
@@ -79,5 +84,14 @@ class Graph {
   unsigned max_degree_ = 0;
   unsigned min_degree_ = 0;
 };
+
+/// What memory_bytes() would report for a materialised CSR of a regular
+/// graph with the given shape — lets the implicit path quote the cost it
+/// avoided without paying it.
+[[nodiscard]] constexpr std::uint64_t csr_memory_bytes_estimate(
+    std::uint64_t num_nodes, unsigned degree) noexcept {
+  return (num_nodes + 1) * sizeof(EdgeIndex) +
+         num_nodes * degree * (sizeof(Node) + sizeof(std::uint32_t));
+}
 
 }  // namespace mmdiag

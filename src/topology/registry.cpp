@@ -45,8 +45,10 @@ std::vector<std::string> topology_families() {
           "pancake",       "arrangement"};
 }
 
-std::unique_ptr<Topology> make_topology(const std::string& family,
-                                        const std::vector<unsigned>& p) {
+namespace {
+
+std::unique_ptr<Topology> make_topology_unchecked(
+    const std::string& family, const std::vector<unsigned>& p) {
   if (family == "hypercube") {
     expect(family, p, 1);
     return std::make_unique<Hypercube>(p[0]);
@@ -104,6 +106,24 @@ std::unique_ptr<Topology> make_topology(const std::string& family,
     return std::make_unique<Arrangement>(p[0], p[1]);
   }
   throw std::invalid_argument("unknown topology family '" + family + "'");
+}
+
+}  // namespace
+
+std::unique_ptr<Topology> make_topology(const std::string& family,
+                                        const std::vector<unsigned>& p) {
+  std::unique_ptr<Topology> topology = make_topology_unchecked(family, p);
+  // Node ids are 32-bit throughout the stack; families whose own caps admit
+  // larger instances (e.g. arrangement 16 12 at ~8.7e11 nodes) must be
+  // rejected here rather than silently wrapping ids mod 2^32.
+  const std::uint64_t nodes = topology->info().num_nodes;
+  if (nodes > static_cast<std::uint64_t>(kNoNode)) {
+    throw std::invalid_argument(
+        topology->spec() + ": " + std::to_string(nodes) +
+        " nodes overflow the 32-bit node id space (max " +
+        std::to_string(static_cast<std::uint64_t>(kNoNode)) + ")");
+  }
+  return topology;
 }
 
 std::unique_ptr<Topology> make_topology_from_spec(const std::string& spec) {

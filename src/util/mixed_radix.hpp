@@ -15,7 +15,16 @@ struct TupleCodec {
   std::uint64_t count;  // k^n
 
   TupleCodec(unsigned n_, unsigned k_) : n(n_), k(k_), count(1) {
-    for (unsigned i = 0; i < n; ++i) count *= k;
+    // Saturate instead of wrapping so callers' size caps (e.g. KAryNCube's
+    // "instance too large" check) fire on absurd (n, k) rather than letting
+    // k^n alias a small value mod 2^64.
+    for (unsigned i = 0; i < n; ++i) {
+      if (k != 0 && count > UINT64_MAX / k) {
+        count = UINT64_MAX;
+        break;
+      }
+      count *= k;
+    }
   }
 
   void unrank(std::uint64_t id, std::uint8_t* out) const noexcept {

@@ -12,6 +12,7 @@
 
 #include "core/diagnoser.hpp"
 #include "engine/engine.hpp"
+#include "graph/implicit_graph.hpp"
 #include "mm/injector.hpp"
 #include "test_util.hpp"
 #include "util/rng.hpp"
@@ -336,6 +337,64 @@ TEST(DiagnosisEngine, UnsupportedBoundsAndBadSpecsThrow) {
   // The same instance still calibrates at a supported explicit bound.
   EXPECT_NO_THROW((void)engine.calibration("hypercube 5", 3,
                                            ParentRule::kSpread));
+}
+
+TEST(DiagnosisEngine, ImplicitModeIsBitIdenticalAndMaterialisesNoEdges) {
+  EngineOptions csr_options;
+  csr_options.graph_mode = GraphMode::kCsr;
+  DiagnosisEngine csr_engine(csr_options);
+
+  EngineOptions imp_options;
+  imp_options.graph_mode = GraphMode::kImplicit;
+  DiagnosisEngine imp_engine(imp_options);
+
+  const char* spec = "hypercube 8";
+  const auto csr_cal = csr_engine.calibration(spec);
+  const auto imp_cal = imp_engine.calibration(spec);
+  EXPECT_FALSE(csr_cal->is_implicit());
+  EXPECT_TRUE(imp_cal->is_implicit());
+  // The implicit calibration holds no CSR arrays at all.
+  EXPECT_EQ(imp_cal->graph.num_nodes(), 0u);
+  ASSERT_NE(imp_cal->implicit_view, nullptr);
+  EXPECT_EQ(imp_cal->implicit_view->num_nodes(), csr_cal->graph.num_nodes());
+  // Same certified plan, same calibration budget.
+  EXPECT_EQ(csr_cal->partition.plan->description(),
+            imp_cal->partition.plan->description());
+  EXPECT_EQ(csr_cal->partition.calibration_lookups,
+            imp_cal->partition.calibration_lookups);
+
+  const test::Instance inst(spec);
+  const std::size_t n = inst.graph.num_nodes();
+  const ImplicitGraph iview(*inst.topo);
+  for (std::size_t i = 0; i < 4; ++i) {
+    Rng rng(500 + i);
+    const FaultSet faults(n, inject_uniform(n, i, rng));
+    const LazyOracle lazy(inst.graph, faults, FaultyBehavior::kRandom, i);
+    const ImplicitLazyOracle ilazy(iview, faults, FaultyBehavior::kRandom, i);
+    expect_bit_identical(csr_engine.diagnose(spec, lazy),
+                         imp_engine.diagnose(spec, ilazy), i);
+  }
+
+  // Batch lanes address syndrome rows through the materialised CSR layout.
+  EXPECT_THROW((void)imp_engine.make_batch_diagnoser(spec),
+               std::invalid_argument);
+  EXPECT_NO_THROW((void)csr_engine.make_batch_diagnoser(spec));
+}
+
+TEST(DiagnosisEngine, AutoModeKeepsSmallInstancesOnCsr) {
+  // kAuto flips to implicit only at kImplicitAutoNodeThreshold (2^17)
+  // nodes; everything in the test-sized range stays CSR so the batch and
+  // cohort paths keep working by default.
+  DiagnosisEngine engine;  // graph_mode = kAuto
+  const auto cal = engine.calibration("hypercube 8");
+  EXPECT_FALSE(cal->is_implicit());
+  EXPECT_GT(cal->graph.num_nodes(), 0u);
+  TopologyInfo big;
+  big.num_nodes = std::uint64_t{1} << 20;
+  big.degree = 20;
+  EXPECT_TRUE(resolve_implicit_mode(GraphMode::kAuto, big));
+  big.degree = 65;  // past the implicit ceiling: stays CSR even at scale
+  EXPECT_FALSE(resolve_implicit_mode(GraphMode::kAuto, big));
 }
 
 TEST(ParentRuleNames, RoundTripAndAliases) {

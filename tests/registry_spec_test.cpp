@@ -130,5 +130,28 @@ TEST(RegistrySpec, MakeTopologyMatchesSpecPath) {
   EXPECT_EQ(direct->info().num_nodes, via_spec->info().num_nodes);
 }
 
+// Node ids are 32-bit throughout the stack. Families whose own parameter
+// caps admit more than 2^32 - 1 nodes used to wrap silently at parse time;
+// the registry now rejects them with a message naming the overflow.
+TEST(RegistrySpec, SpecsOverflowingNodeIdSpaceAreRejected) {
+  // arrangement 16 12: 16!/(16-12)! ~ 8.7e11 nodes.
+  // nk_star 16 15: likewise factorial, far past 2^32.
+  for (const char* spec : {"arrangement 16 12", "nk_star 16 15"}) {
+    SCOPED_TRACE(spec);
+    try {
+      (void)make_topology_from_spec(spec);
+      FAIL() << "expected std::invalid_argument for '" << spec << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("32-bit node id space"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+  // Families with their own tighter caps keep their original messages —
+  // the guard only catches what used to slip through.
+  EXPECT_THROW((void)make_topology_from_spec("hypercube 32"),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace mmdiag
