@@ -1,14 +1,22 @@
 // mmdiag_cli — command-line front end over the syndrome file format.
 //
-//   mmdiag_cli generate <spec...> --faults k [--seed s] [--behavior b] -o F
-//       Simulate an MM-model self-test sweep of the given topology with k
-//       random faults and write the syndrome to file F (ground truth goes
-//       to F.truth). behaviours: random | all-zero | all-one | anti.
+//   mmdiag_cli generate <spec...> --faults k [--seed s] [--model m]
+//              [--behavior b] -o F
+//       Simulate a self-test sweep of the given topology with k random
+//       faults and write the syndrome to file F (ground truth goes to
+//       F.truth). models: mm-star (default, comparator matrix) | pmc |
+//       bgm (directed per-arc outcomes). behaviours: random | all-zero |
+//       all-one | anti.
 //
-//   mmdiag_cli diagnose <file> [--verify]
-//       Load a syndrome file, run the paper's diagnosis through the
-//       DiagnosisEngine, print the fault ids and the setup/solve split
-//       (and check full-syndrome consistency with --verify).
+//   mmdiag_cli diagnose <file> [--verify] [--model m] [--local NODE]
+//              [--graph-mode csr|auto]
+//       Load a syndrome file (its model header picks the solver), run the
+//       diagnosis through the DiagnosisEngine, print the fault ids and the
+//       setup/solve split (and check full-syndrome consistency with
+//       --verify, MM* only). --model asserts the file's model. --local
+//       answers one node's status via the BGM neighbourhood-read fast
+//       path instead of a global solve. Syndrome files address rows
+//       through CSR adjacency, so --graph-mode implicit is a usage error.
 //
 //   mmdiag_cli diagnose --batch <dir> [--threads N]
 //       Load every syndrome file in <dir> (anything not ending in .truth),
@@ -26,17 +34,20 @@
 //       cost and cache counters are reported.
 //
 //   mmdiag_cli info <spec...> [--rule R] [--memory]
-//       Print the topology's constants and its certified partition under
-//       probe rule R (least-first | spread | least-sync | hash-spread).
-//       --memory adds the CSR footprint (estimated, never built, when the
-//       instance resolves to the implicit view) against ImplicitGraph's
-//       O(1) bytes.
+//       Print the topology's constants, the diagnosis models it can be
+//       served under (with each model's solver and oracle family), and its
+//       certified partition under probe rule R (least-first | spread |
+//       least-sync | hash-spread). --memory adds the CSR footprint
+//       (estimated, never built, when the instance resolves to the
+//       implicit view) against ImplicitGraph's O(1) bytes.
 //
-//   mmdiag_cli fuzz [--cases N] [--seed S] [--out-dir DIR] ...
+//   mmdiag_cli fuzz [--cases N] [--seed S] [--model M] [--out-dir DIR] ...
 //   mmdiag_cli fuzz --replay FILE
-//       Differentially fuzz the §5 driver against the exact solver over the
-//       registered topology catalog; divergences are minimized and written
-//       as replayable .repro files. --replay re-executes one repro file.
+//       Differentially fuzz the per-model drivers against the per-model
+//       exact solvers over the registered topology catalog (cases rotate
+//       over mm-star/pmc/bgm; --model restricts to one); divergences are
+//       minimized and written as replayable .repro files. --replay
+//       re-executes one repro file.
 //
 // Exit status: 0 on success, 1 on diagnosis failure / fuzz divergence,
 // 2 on usage errors.
@@ -57,6 +68,8 @@
 #include "engine/engine.hpp"
 #include "fuzz/fuzzer.hpp"
 #include "io/syndrome_io.hpp"
+#include "mm/directed_oracle.hpp"
+#include "mm/directed_syndrome.hpp"
 #include "mm/injector.hpp"
 #include "mm/syndrome.hpp"
 #include "topology/registry.hpp"
@@ -71,15 +84,20 @@ namespace {
 int usage() {
   std::cerr << "usage:\n"
             << "  mmdiag_cli generate <spec...> --faults K [--seed S] "
+               "[--model mm-star|pmc|bgm] "
                "[--behavior random|all-zero|all-one|anti] -o FILE\n"
-            << "  mmdiag_cli diagnose FILE [--verify]\n"
-            << "  mmdiag_cli diagnose --batch DIR [--threads N]\n"
+            << "  mmdiag_cli diagnose FILE [--verify] "
+               "[--model mm-star|pmc|bgm] [--local NODE] "
+               "[--graph-mode csr|auto]\n"
+            << "  mmdiag_cli diagnose --batch DIR [--threads N] "
+               "[--graph-mode csr|auto]\n"
             << "  mmdiag_cli serve --requests FILE [--threads N] "
-               "[--cache-capacity C]\n"
+               "[--cache-capacity C] [--graph-mode csr|auto]\n"
             << "  mmdiag_cli info <spec...> "
                "[--rule least-first|spread|least-sync|hash-spread] "
                "[--memory]\n"
-            << "  mmdiag_cli fuzz [--cases N] [--seed S] [--out-dir DIR] "
+            << "  mmdiag_cli fuzz [--cases N] [--seed S] "
+               "[--model mm-star|pmc|bgm] [--out-dir DIR] "
                "[--max-bugs K] [--budget-seconds T]\n"
             << "             [--sabotage none|rule-mismatch|drop-fault]\n"
             << "  mmdiag_cli fuzz --replay FILE "
@@ -108,10 +126,34 @@ bool parse_flag_value(const std::string& flag, const std::string& token,
 /// Threads beyond this are a typo, not a machine.
 constexpr std::uint64_t kMaxThreads = 4096;
 
+/// Shared handling of --graph-mode in the syndrome-file modes (diagnose,
+/// serve). File rows address the materialised CSR adjacency, so the
+/// implicit view can never host them — rejecting the combination here
+/// turns what would otherwise surface as a deep engine error into a plain
+/// usage diagnostic. auto resolves to csr (the only view files can use).
+bool parse_file_graph_mode(const std::string& token, GraphMode& out) {
+  GraphMode mode;
+  try {
+    mode = graph_mode_from_string(token);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return false;
+  }
+  if (mode == GraphMode::kImplicit) {
+    std::cerr << "--graph-mode implicit cannot serve syndrome files: file "
+                 "rows address the materialised CSR adjacency (use csr or "
+                 "auto)\n";
+    return false;
+  }
+  out = GraphMode::kCsr;
+  return true;
+}
+
 int cmd_generate(const std::vector<std::string>& args) {
   std::string spec, out_path;
   std::size_t faults = 0;
   std::uint64_t seed = 1;
+  DiagnosisModel model = DiagnosisModel::kMMStar;
   FaultyBehavior behavior = FaultyBehavior::kRandom;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--faults" && i + 1 < args.size()) {
@@ -125,6 +167,8 @@ int cmd_generate(const std::vector<std::string>& args) {
                             std::numeric_limits<std::uint64_t>::max(), seed)) {
         return usage();
       }
+    } else if (args[i] == "--model" && i + 1 < args.size()) {
+      model = diagnosis_model_from_string(args[++i]);
     } else if (args[i] == "--behavior" && i + 1 < args.size()) {
       behavior = behavior_from_string(args[++i]);
     } else if (args[i] == "-o" && i + 1 < args.size()) {
@@ -141,7 +185,6 @@ int cmd_generate(const std::vector<std::string>& args) {
   Rng rng(seed);
   const FaultSet fault_set(graph.num_nodes(),
                            inject_uniform(graph.num_nodes(), faults, rng));
-  const Syndrome syndrome = generate_syndrome(graph, fault_set, behavior, seed);
 
   std::ofstream out(out_path);
   if (!out) {
@@ -149,13 +192,26 @@ int cmd_generate(const std::vector<std::string>& args) {
     return 2;
   }
   out << "# generated by mmdiag_cli: " << faults << " faults, seed " << seed
-      << ", behaviour " << to_string(behavior) << "\n";
-  write_syndrome(out, spec, graph, syndrome);
+      << ", model " << diagnosis_model_to_string(model) << ", behaviour "
+      << to_string(behavior) << "\n";
+  std::uint64_t total_tests = 0;
+  if (is_directed_model(model)) {
+    const DirectedSyndrome syndrome =
+        generate_directed_syndrome(graph, fault_set, model, behavior, seed);
+    write_directed_syndrome(out, spec, model, graph, syndrome);
+    total_tests = syndrome.total_tests();
+  } else {
+    const Syndrome syndrome =
+        generate_syndrome(graph, fault_set, behavior, seed);
+    write_syndrome(out, spec, graph, syndrome);
+    total_tests = syndrome.total_tests();
+  }
 
   std::ofstream truth(out_path + ".truth");
   write_node_list(truth, fault_set.nodes());
-  std::cout << "wrote " << out_path << " (" << syndrome.total_tests()
-            << " tests) and " << out_path << ".truth\n";
+  std::cout << "wrote " << out_path << " (" << total_tests << " tests, model "
+            << diagnosis_model_to_string(model) << ") and " << out_path
+            << ".truth\n";
   return 0;
 }
 
@@ -302,10 +358,72 @@ int cmd_diagnose_batch(const std::string& dir, unsigned threads) {
   return exit_code;
 }
 
+/// Directed (PMC/BGM) single-file diagnose: global solve through
+/// DiagnosisEngine::diagnose_directed, or — with `--local` — one node's
+/// status through the BGM neighbourhood-read fast path.
+int cmd_diagnose_directed(const LoadedDirectedSyndrome& loaded,
+                          Node local_node, bool have_local) {
+  DiagnosisEngine engine(EngineOptions{});
+  const DirectedTableOracle oracle(loaded.graph, loaded.syndrome,
+                                   loaded.model);
+  std::cout << "loaded " << loaded.spec << ": " << loaded.graph.num_nodes()
+            << " nodes, " << loaded.syndrome.total_tests()
+            << " directed tests, model "
+            << diagnosis_model_to_string(loaded.model) << "\n";
+
+  if (have_local) {
+    if (loaded.model != DiagnosisModel::kBGM) {
+      std::cerr << "--local needs a bgm syndrome (the local rules rely on "
+                   "BGM's asymmetric invalidation); this file is "
+                << diagnosis_model_to_string(loaded.model) << "\n";
+      return 2;
+    }
+    if (local_node >= loaded.graph.num_nodes()) {
+      std::cerr << "--local node " << local_node << " out of range (graph "
+                << "has " << loaded.graph.num_nodes() << " nodes)\n";
+      return 2;
+    }
+    const DiagnosisResult r =
+        engine.local_diagnose(loaded.spec, oracle, local_node);
+    if (!r.success) {
+      std::cerr << "local diagnosis failed: " << r.failure_reason << "\n";
+      return 1;
+    }
+    const bool faulty = !r.faults.empty();
+    std::cout << "node " << local_node << ": "
+              << (faulty ? "FAULTY" : "healthy") << " via "
+              << (r.used_local_fast_path ? "local neighbourhood reads"
+                                         : "global solve fallback")
+              << " (" << r.lookups << " look-ups, "
+              << r.diagnose_seconds * 1e3 << " ms)\n";
+    return 0;
+  }
+
+  const DiagnosisResult result = engine.diagnose_directed(loaded.spec, oracle);
+  if (!result.success) {
+    std::cerr << "diagnosis failed: " << result.failure_reason << "\n";
+    return 1;
+  }
+  std::cout << "diagnosed " << result.faults.size() << " fault(s) in "
+            << result.diagnose_seconds * 1e3 << " ms solve ("
+            << result.lookups << " look-ups):\n";
+  for (const Node v : result.faults) {
+    std::cout << "  " << v << "  [" << loaded.topology->node_label(v)
+              << "]\n";
+  }
+  if (result.faults.empty()) std::cout << "  (system healthy)\n";
+  return 0;
+}
+
 int cmd_diagnose(const std::vector<std::string>& args) {
   std::string path, batch_dir;
   bool verify = false;
   unsigned threads = 0;
+  GraphMode graph_mode = GraphMode::kCsr;
+  DiagnosisModel expected_model = DiagnosisModel::kMMStar;
+  bool have_expected_model = false;
+  Node local_node = kNoNode;
+  bool have_local = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--verify") {
       verify = true;
@@ -315,6 +433,18 @@ int cmd_diagnose(const std::vector<std::string>& args) {
       if (!parse_flag_value("--threads", args[++i], kMaxThreads, threads)) {
         return usage();
       }
+    } else if (args[i] == "--graph-mode" && i + 1 < args.size()) {
+      if (!parse_file_graph_mode(args[++i], graph_mode)) return 2;
+    } else if (args[i] == "--model" && i + 1 < args.size()) {
+      expected_model = diagnosis_model_from_string(args[++i]);
+      have_expected_model = true;
+    } else if (args[i] == "--local" && i + 1 < args.size()) {
+      if (!parse_flag_value("--local", args[++i],
+                            std::numeric_limits<Node>::max() - 1,
+                            local_node)) {
+        return usage();
+      }
+      have_local = true;
     } else {
       path = args[i];
     }
@@ -327,12 +457,42 @@ int cmd_diagnose(const std::vector<std::string>& args) {
     std::cerr << "cannot read " << path << "\n";
     return 2;
   }
+  // Slurp once: the model header decides which reader (and solver) the
+  // file goes to, and the chosen reader re-parses from the start.
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::istringstream peek(buffer.str());
+  const SyndromeFileHeader header = peek_syndrome_header(peek);
+  if (have_expected_model && header.model != expected_model) {
+    std::cerr << path << " carries a "
+              << diagnosis_model_to_string(header.model)
+              << " syndrome, but --model "
+              << diagnosis_model_to_string(expected_model)
+              << " was requested\n";
+    return 2;
+  }
+  if (is_directed_model(header.model)) {
+    if (verify) {
+      std::cerr << "--verify applies to mm-star syndromes only (directed "
+                   "models have no comparator-consistency check)\n";
+      return 2;
+    }
+    std::istringstream body(buffer.str());
+    return cmd_diagnose_directed(read_directed_syndrome(body), local_node,
+                                 have_local);
+  }
+  if (have_local) {
+    std::cerr << "--local needs a bgm syndrome; this file is mm-star\n";
+    return 2;
+  }
+
   EngineOptions engine_options;
   engine_options.threads = 1;
-  engine_options.graph_mode = GraphMode::kCsr;
+  engine_options.graph_mode = graph_mode;
   DiagnosisEngine engine(engine_options);
   PinnedResolver resolve(engine);
-  const ParsedSyndrome loaded = read_syndrome(in, std::ref(resolve));
+  std::istringstream body(buffer.str());
+  const ParsedSyndrome loaded = read_syndrome(body, std::ref(resolve));
   const std::shared_ptr<const Calibration> cal =
       engine.calibration(loaded.spec);
   std::cout << "loaded " << cal->spec << ": " << cal->graph.num_nodes()
@@ -367,9 +527,12 @@ int cmd_serve(const std::vector<std::string>& args) {
   std::string requests_path;
   unsigned threads = 0;
   std::size_t cache_capacity = 8;
+  GraphMode graph_mode = GraphMode::kCsr;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--requests" && i + 1 < args.size()) {
       requests_path = args[++i];
+    } else if (args[i] == "--graph-mode" && i + 1 < args.size()) {
+      if (!parse_file_graph_mode(args[++i], graph_mode)) return 2;
     } else if (args[i] == "--threads" && i + 1 < args.size()) {
       if (!parse_flag_value("--threads", args[++i], kMaxThreads, threads)) {
         return usage();
@@ -408,7 +571,7 @@ int cmd_serve(const std::vector<std::string>& args) {
   EngineOptions engine_options;
   engine_options.threads = threads;
   engine_options.cache_capacity = cache_capacity;
-  engine_options.graph_mode = GraphMode::kCsr;
+  engine_options.graph_mode = graph_mode;
   DiagnosisEngine engine(engine_options);
   PinnedResolver resolve(engine);
 
@@ -536,7 +699,14 @@ int cmd_info(const std::vector<std::string>& args) {
             << "  diagnosability: " << info.diagnosability << "\n"
             << "  fault bound:    " << topo->default_fault_bound() << "\n"
             << "  probe rule:     " << parent_rule_to_string(rule) << "\n"
-            << "  graph view:     " << (implicit ? "implicit" : "csr") << "\n";
+            << "  graph view:     " << (implicit ? "implicit" : "csr") << "\n"
+            << "  models:\n"
+            << "    mm-star       Diagnoser over the comparator matrix "
+               "(SyndromeOracle; csr or implicit view)\n"
+            << "    pmc           DirectedDiagnoser global solve "
+               "(DirectedOracle; csr only)\n"
+            << "    bgm           DirectedDiagnoser + bgm_local_diagnose "
+               "fast path (DirectedOracle; csr only)\n";
   Graph graph;
   if (!implicit) graph = topo->build_graph();
   if (show_memory) {
@@ -577,7 +747,8 @@ int cmd_fuzz_replay(const std::string& path, Sabotage sabotage) {
   }
   const FuzzCase c = read_repro(in);
   std::cout << "replaying " << path << ": " << c.spec << ", delta " << c.delta
-            << ", " << c.faults.size() << " fault(s), pattern "
+            << ", " << c.faults.size() << " fault(s), model "
+            << diagnosis_model_to_string(c.model) << ", pattern "
             << to_string(c.pattern) << ", behaviour " << to_string(c.behavior)
             << "\n";
   FuzzContext ctx;
@@ -620,6 +791,8 @@ int cmd_fuzz(const std::vector<std::string>& args) {
         return usage();
       }
       options.budget_seconds = static_cast<double>(seconds);
+    } else if (args[i] == "--model" && i + 1 < args.size()) {
+      options.models = {diagnosis_model_from_string(args[++i])};
     } else if (args[i] == "--sabotage" && i + 1 < args.size()) {
       options.sabotage = sabotage_from_string(args[++i]);
     } else if (args[i] == "--replay" && i + 1 < args.size()) {
@@ -647,6 +820,10 @@ int cmd_fuzz(const std::vector<std::string>& args) {
   std::cout << "\n  patterns:";
   for (const auto& [pattern, count] : summary.cases_per_pattern) {
     std::cout << ' ' << pattern << '=' << count;
+  }
+  std::cout << "\n  models:";
+  for (const auto& [model, count] : summary.cases_per_model) {
+    std::cout << ' ' << model << '=' << count;
   }
   std::cout << "\n";
   if (summary.clean()) {

@@ -141,20 +141,65 @@ else
   echo "scale smoke: bench_scale not built, skipped"
 fi
 
+if [ -x bench/bench_models ]; then
+  # The model smoke must show every diagnosis model answering (MM*, PMC and
+  # BGM global rows all succeed) and the BGM local fast path holding its
+  # contract: per-request look-ups within the 2-ball bound and a throughput
+  # far above the global solve (the binary itself exits non-zero on a bound
+  # violation; the JSON fields are re-checked here so a reporting bug
+  # cannot mask one).
+  ./bench/bench_models --smoke --out BENCH_models.json
+  if command -v python3 >/dev/null; then
+    python3 - <<'PY'
+import json
+with open("BENCH_models.json") as f:
+    report = json.load(f)
+rows = report["results"]
+assert rows, "BENCH_models.json has no results"
+models = {r["model"] for r in rows if r["mode"] == "global"}
+assert models == {"mm-star", "pmc", "bgm"}, f"missing global rows: {models}"
+for r in rows:
+    if r["mode"] == "global":
+        assert r["succeeded"] == r["syndromes"], f"global solves failed: {r}"
+local = [r for r in rows if r["mode"] == "local"]
+assert local, "no BGM local-diagnosis row: the fast path never ran"
+for r in local:
+    assert r["within_lookup_bound"], f"local request broke the bound: {r}"
+    assert r["max_request_lookups"] <= r["lookup_bound"], \
+        f"max look-ups above the 2-ball bound: {r}"
+    assert r["speedup_vs_global_solve"] > 10, \
+        f"local fast path not meaningfully faster than a global solve: {r}"
+print(f"model smoke: {len(rows)} rows, all models live, local fast path "
+      "within its look-up bound")
+PY
+  else
+    echo "model smoke: python3 unavailable, JSON validation skipped"
+  fi
+else
+  echo "model smoke: bench_models not built, skipped"
+fi
+
 # UBSan pass over the word-level kernels the bitsliced path leans on:
 # extract/row_bits/transpose64 shift edge cases trap at runtime under
-# -fsanitize=undefined instead of silently wrapping. Only the three suites
-# that exercise those kernels are built, so the pass stays cheap.
+# -fsanitize=undefined instead of silently wrapping, and the directed-model
+# suites ride along so PMC/BGM hash and bit plumbing get the same scrutiny.
+# Only the suites that exercise those kernels are built, so the pass stays
+# cheap.
 cd ..
 cmake -B build-ubsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=undefined -fno-sanitize-recover=all" \
   "$@"
-cmake --build build-ubsan -j --target util_test syndrome_test dispatch_equiv_test
+cmake --build build-ubsan -j --target util_test syndrome_test \
+  dispatch_equiv_test model_test directed_solver_test model_fuzz_test
 ./build-ubsan/tests/util_test
 ./build-ubsan/tests/syndrome_test
 ./build-ubsan/tests/dispatch_equiv_test
-echo "ubsan smoke: word-level kernel suites clean under -fsanitize=undefined"
+./build-ubsan/tests/model_test
+./build-ubsan/tests/directed_solver_test
+./build-ubsan/tests/model_fuzz_test
+echo "ubsan smoke: word-level kernel and directed-model suites clean" \
+     "under -fsanitize=undefined"
 cd build
 
 if [ -x examples/mmdiag_cli ]; then
@@ -168,7 +213,20 @@ if [ -x examples/mmdiag_cli ]; then
          "(differential cases have slowed down drastically)"
     exit 1
   fi
-  echo "fuzz smoke: clean"
+  # Per-model streams: each differ voice (MM*, PMC, BGM) must survive a
+  # dedicated smoke against its own exact solver, not just whatever mix the
+  # default rotation happened to draw.
+  for model in mm-star pmc bgm; do
+    ./examples/mmdiag_cli fuzz --model "$model" --cases 60 --seed 2 \
+      --max-bugs 3 --budget-seconds 120 --out-dir fuzz-repros \
+      | tee "fuzz-smoke-$model.log"
+    if grep -q "budget exhausted" "fuzz-smoke-$model.log"; then
+      echo "fuzz smoke ($model): FAILED — budget exhausted before the" \
+           "case stream ran"
+      exit 1
+    fi
+  done
+  echo "fuzz smoke: clean (default rotation + one stream per model)"
 else
   echo "fuzz smoke: mmdiag_cli not built (examples disabled), skipped"
 fi

@@ -69,6 +69,9 @@ struct DiagnosisResult {
   bool calibration_reused = false; // served without waiting on a
                                    // calibration build (cache hit that
                                    // didn't block behind the builder)
+  bool used_local_fast_path = false; // answered by bgm_local_diagnose's
+                                     // neighbourhood reads alone, no
+                                     // global solve (directed serving only)
   double setup_seconds = 0;        // obtaining Topology+Graph+partition
                                    // (engine-filled; 0 on the direct path)
   double diagnose_seconds = 0;     // wall time of the diagnose() call

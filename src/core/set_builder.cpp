@@ -6,33 +6,6 @@
 
 namespace mmdiag {
 
-std::string to_string(ParentRule rule) {
-  switch (rule) {
-    case ParentRule::kLeastFirst:
-      return "least-first";
-    case ParentRule::kSpread:
-      return "spread";
-    case ParentRule::kLeastSync:
-      return "least-sync";
-    case ParentRule::kHashSpread:
-      return "hash-spread";
-  }
-  return "?";
-}
-
-std::string parent_rule_to_string(ParentRule rule) { return to_string(rule); }
-
-ParentRule parent_rule_from_string(const std::string& name) {
-  std::string canon = name;
-  std::replace(canon.begin(), canon.end(), '_', '-');
-  for (const ParentRule rule : kAllParentRules) {
-    if (canon == to_string(rule)) return rule;
-  }
-  throw std::invalid_argument("unknown parent rule '" + name +
-                              "' (expected least-first, spread, least-sync, "
-                              "or hash-spread)");
-}
-
 SetBuilder::SetBuilder(const Graph& g, ParentRule rule)
     : graph_(&g), rule_(rule) {
   const std::size_t n = g.num_nodes();

@@ -80,34 +80,14 @@
 #include "mm/oracle.hpp"
 #include "topology/partition.hpp"
 #include "util/bitvec.hpp"
+#include "util/enum_names.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
 namespace mmdiag {
 
-enum class ParentRule : std::uint8_t {
-  kLeastFirst,
-  kSpread,
-  kLeastSync,
-  kHashSpread,
-};
-
-inline constexpr ParentRule kAllParentRules[] = {
-    ParentRule::kLeastFirst, ParentRule::kSpread, ParentRule::kLeastSync,
-    ParentRule::kHashSpread};
-
-[[nodiscard]] std::string to_string(ParentRule rule);
-
-/// Named form of to_string(ParentRule) for call sites that also handle
-/// other enums' names (CLI flags, repro files) and want to say which
-/// mapping they mean.
-[[nodiscard]] std::string parent_rule_to_string(ParentRule rule);
-
-/// Inverse of parent_rule_to_string (also accepts underscore variants such
-/// as "least_first"). Throws std::invalid_argument on unknown names —
-/// shared by the CLI's --rule flag and repro IO, mirroring
-/// behavior_from_string.
-[[nodiscard]] ParentRule parent_rule_from_string(const std::string& name);
+// ParentRule and its name helpers live in util/enum_names.hpp, the shared
+// home of the library's enum <-> string tables.
 
 struct SetBuilderResult {
   bool all_healthy = false;      // certificate: contributors exceeded δ

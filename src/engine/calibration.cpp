@@ -8,7 +8,7 @@ namespace mmdiag {
 
 std::shared_ptr<const Calibration> build_calibration(
     std::unique_ptr<const Topology> topology, unsigned delta, ParentRule rule,
-    bool validate_all, GraphMode mode) {
+    bool validate_all, GraphMode mode, DiagnosisModel model) {
   if (!topology) {
     throw std::invalid_argument("build_calibration: null topology");
   }
@@ -20,6 +20,26 @@ std::shared_ptr<const Calibration> build_calibration(
           ": diagnosability is not established for these parameters (see "
           "§5's validity conditions); request an explicit delta");
     }
+  }
+  if (is_directed_model(model)) {
+    if (mode == GraphMode::kImplicit) {
+      throw std::invalid_argument(
+          "build_calibration: directed (PMC/BGM) bundles read CSR adjacency; "
+          "GraphMode::kImplicit is not available for model " +
+          to_string(model));
+    }
+    // No Set_Builder certification: directed drivers deduce from per-arc
+    // outcomes. The bundle is the graph plus the bound parameters.
+    const Timer timer;
+    auto calibration = std::make_shared<Calibration>();
+    calibration->spec = topology->spec();
+    calibration->topology = std::move(topology);
+    calibration->model = model;
+    calibration->graph = calibration->topology->build_graph();
+    calibration->partition.delta = delta;
+    calibration->partition.rule = rule;
+    calibration->build_seconds = timer.seconds();
+    return calibration;
   }
   const bool implicit = resolve_implicit_mode(mode, topology->info());
   const Timer timer;

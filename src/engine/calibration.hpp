@@ -17,15 +17,15 @@
 #include "graph/graph.hpp"
 #include "graph/implicit_graph.hpp"
 #include "topology/topology.hpp"
+#include "util/enum_names.hpp"
 
 namespace mmdiag {
 
-/// Which GraphView a calibration (and the Diagnosers built on it) uses.
-/// kAuto picks kImplicit for implicit-capable topologies at or above
-/// kImplicitAutoNodeThreshold nodes — where the CSR arrays start to
-/// dominate memory — and kCsr below it, keeping small instances on the
-/// path that also serves materialised-syndrome (TableOracle) requests.
-enum class GraphMode : std::uint8_t { kAuto, kCsr, kImplicit };
+// GraphMode (and its name helpers) lives in util/enum_names.hpp. kAuto
+// picks kImplicit for implicit-capable topologies at or above
+// kImplicitAutoNodeThreshold nodes — where the CSR arrays start to
+// dominate memory — and kCsr below it, keeping small instances on the
+// path that also serves materialised-syndrome (TableOracle) requests.
 
 inline constexpr std::uint64_t kImplicitAutoNodeThreshold = std::uint64_t{1}
                                                             << 17;
@@ -47,6 +47,11 @@ inline constexpr std::uint64_t kImplicitAutoNodeThreshold = std::uint64_t{1}
 struct Calibration {
   std::string spec;  // canonical Topology::spec() — the cache-key stem
   std::shared_ptr<const Topology> topology;
+  /// The test semantics this bundle serves. MM* bundles carry a certified
+  /// partition; directed (PMC/BGM) bundles skip certification — the §5
+  /// probe machinery is comparison-model-specific — and carry only the
+  /// delta/rule parameters in an empty partition.
+  DiagnosisModel model = DiagnosisModel::kMMStar;
   Graph graph;  // empty when is_implicit()
   std::shared_ptr<const ImplicitGraph> implicit_view;  // null when CSR
   CertifiedPartition partition;  // carries its calibration rule and delta
@@ -56,6 +61,9 @@ struct Calibration {
   [[nodiscard]] ParentRule rule() const noexcept { return partition.rule; }
   [[nodiscard]] bool is_implicit() const noexcept {
     return implicit_view != nullptr;
+  }
+  [[nodiscard]] bool is_directed() const noexcept {
+    return is_directed_model(model);
   }
 };
 
@@ -84,8 +92,16 @@ struct Calibration {
 /// plan certifies the bound under `rule`. `mode` selects the GraphView: in
 /// implicit mode no edge is ever materialised — calibration itself runs
 /// through the closed-form adjacency.
+///
+/// `model` tags the bundle's test semantics. Directed models (kPMC/kBGM)
+/// need no partition certification — their drivers deduce from per-arc
+/// outcomes, not Set_Builder probes — so the bundle materialises the CSR
+/// graph (directed solvers read adjacency both ways; `mode` must not be
+/// kImplicit, throws std::invalid_argument) and records delta/rule in an
+/// uncertified partition.
 [[nodiscard]] std::shared_ptr<const Calibration> build_calibration(
     std::unique_ptr<const Topology> topology, unsigned delta, ParentRule rule,
-    bool validate_all, GraphMode mode = GraphMode::kCsr);
+    bool validate_all, GraphMode mode = GraphMode::kCsr,
+    DiagnosisModel model = DiagnosisModel::kMMStar);
 
 }  // namespace mmdiag

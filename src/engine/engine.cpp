@@ -1,5 +1,6 @@
 #include "engine/engine.hpp"
 
+#include <algorithm>
 #include <array>
 #include <functional>
 #include <stdexcept>
@@ -27,6 +28,51 @@ std::unique_ptr<Diagnoser> make_calibrated_diagnoser(
                                      options);
 }
 
+/// Result convention for a definite local answer: success about one node.
+DiagnosisResult definite_local(LocalDiagnosisStatus status,
+                               std::uint64_t lookups, Node node) {
+  DiagnosisResult out;
+  out.success = true;
+  if (status == LocalDiagnosisStatus::kFaulty) out.faults.push_back(node);
+  out.lookups = lookups;
+  out.used_local_fast_path = true;
+  return out;
+}
+
+/// Narrow a global solve down to the one node a local request asked about,
+/// folding the fast path's (inconclusive) reads into the look-up count.
+DiagnosisResult restrict_to_node(DiagnosisResult global, Node node,
+                                 std::uint64_t local_lookups) {
+  global.lookups += local_lookups;
+  if (global.success) {
+    const bool faulty = std::binary_search(global.faults.begin(),
+                                           global.faults.end(), node);
+    global.faults.clear();
+    if (faulty) global.faults.push_back(node);
+  }
+  return global;
+}
+
+/// One directed request, start to finish: a plain global solve, or —
+/// when local_node is set — the BGM fast path with global fallback.
+DiagnosisResult run_directed(DirectedDiagnoser& driver, const Graph& graph,
+                             const DirectedOracle& oracle, Node local_node) {
+  if (local_node == kNoNode) return driver.diagnose(oracle);
+  const Timer timer;
+  const LocalDiagnosisResult local =
+      bgm_local_diagnose(graph, oracle, local_node);
+  if (local.status != LocalDiagnosisStatus::kUnknown) {
+    DiagnosisResult out = definite_local(local.status, local.lookups,
+                                         local_node);
+    out.diagnose_seconds = timer.seconds();
+    return out;
+  }
+  DiagnosisResult out =
+      restrict_to_node(driver.diagnose(oracle), local_node, local.lookups);
+  out.diagnose_seconds = timer.seconds();
+  return out;
+}
+
 }  // namespace
 
 DiagnosisEngine::DiagnosisEngine(EngineOptions options)
@@ -35,29 +81,34 @@ DiagnosisEngine::DiagnosisEngine(EngineOptions options)
       pool_(options.threads),
       lane_scratch_(pool_.size()) {}
 
-DiagnosisEngine::ResolvedKey DiagnosisEngine::resolve(const std::string& spec,
-                                                      unsigned delta,
-                                                      ParentRule rule,
-                                                      bool validate_all) const {
+DiagnosisEngine::ResolvedKey DiagnosisEngine::resolve(
+    const std::string& spec, unsigned delta, ParentRule rule,
+    bool validate_all, DiagnosisModel model) const {
   ResolvedKey out;
   out.topology = make_topology_from_spec(spec);
   out.delta = delta != 0 ? delta : out.topology->default_fault_bound();
   // out.delta may still be 0 (diagnosability unknown): the key is then never
   // inserted because build_calibration throws its descriptive error first.
-  out.implicit = resolve_implicit_mode(options_.graph_mode,
+  // Directed bundles are CSR-only (their drivers read adjacency both ways),
+  // so a graph_mode preference never leaks into their keys.
+  out.implicit = !is_directed_model(model) &&
+                 resolve_implicit_mode(options_.graph_mode,
                                        out.topology->info());
   out.key = out.topology->spec();
   out.key += "|delta=" + std::to_string(out.delta);
   out.key += "|rule=" + parent_rule_to_string(rule);
   if (!validate_all) out.key += "|component0-only";
   if (out.implicit) out.key += "|implicit";
+  if (is_directed_model(model)) {
+    out.key += "|model=" + diagnosis_model_to_string(model);
+  }
   return out;
 }
 
 std::shared_ptr<const Calibration> DiagnosisEngine::get_or_build(
     const std::string& spec, unsigned delta, ParentRule rule,
-    bool validate_all, bool* reused) {
-  ResolvedKey resolved = resolve(spec, delta, rule, validate_all);
+    bool validate_all, DiagnosisModel model, bool* reused) {
+  ResolvedKey resolved = resolve(spec, delta, rule, validate_all, model);
   if (reused) *reused = true;
   {
     const std::lock_guard<std::mutex> lock(mu_);
@@ -89,7 +140,7 @@ std::shared_ptr<const Calibration> DiagnosisEngine::get_or_build(
 
   std::shared_ptr<const Calibration> built = build_calibration(
       std::move(resolved.topology), resolved.delta, rule, validate_all,
-      resolved.implicit ? GraphMode::kImplicit : GraphMode::kCsr);
+      resolved.implicit ? GraphMode::kImplicit : GraphMode::kCsr, model);
   {
     const std::lock_guard<std::mutex> lock(mu_);
     lru_.push_front(Entry{resolved.key, built});
@@ -108,13 +159,14 @@ std::shared_ptr<const Calibration> DiagnosisEngine::get_or_build(
 std::shared_ptr<const Calibration> DiagnosisEngine::calibration(
     const std::string& spec) {
   return get_or_build(spec, options_.diagnoser.delta, options_.diagnoser.rule,
-                      options_.diagnoser.validate_all_components, nullptr);
+                      options_.diagnoser.validate_all_components,
+                      DiagnosisModel::kMMStar, nullptr);
 }
 
 std::shared_ptr<const Calibration> DiagnosisEngine::calibration(
     const std::string& spec, unsigned delta, ParentRule rule,
-    bool validate_all) {
-  return get_or_build(spec, delta, rule, validate_all, nullptr);
+    bool validate_all, DiagnosisModel model) {
+  return get_or_build(spec, delta, rule, validate_all, model, nullptr);
 }
 
 DiagnosisResult DiagnosisEngine::diagnose(const std::string& spec,
@@ -123,11 +175,56 @@ DiagnosisResult DiagnosisEngine::diagnose(const std::string& spec,
   bool reused = false;
   const std::shared_ptr<const Calibration> cal =
       get_or_build(spec, options_.diagnoser.delta, options_.diagnoser.rule,
-                   options_.diagnoser.validate_all_components, &reused);
+                   options_.diagnoser.validate_all_components,
+                   DiagnosisModel::kMMStar, &reused);
   const std::unique_ptr<Diagnoser> diagnoser =
       make_calibrated_diagnoser(cal, options_.diagnoser);
   const double setup_seconds = setup_timer.seconds();
   DiagnosisResult result = diagnose_devirtualized(*diagnoser, oracle);
+  result.calibration_reused = reused;
+  result.setup_seconds = setup_seconds;
+  return result;
+}
+
+DiagnosisResult DiagnosisEngine::diagnose_directed(
+    const std::string& spec, const DirectedOracle& oracle) {
+  const Timer setup_timer;
+  bool reused = false;
+  const std::shared_ptr<const Calibration> cal =
+      get_or_build(spec, options_.diagnoser.delta, options_.diagnoser.rule,
+                   options_.diagnoser.validate_all_components, oracle.model(),
+                   &reused);
+  DirectedDiagnoser driver(cal->graph, cal->delta());
+  const double setup_seconds = setup_timer.seconds();
+  DiagnosisResult result = driver.diagnose(oracle);
+  result.calibration_reused = reused;
+  result.setup_seconds = setup_seconds;
+  return result;
+}
+
+DiagnosisResult DiagnosisEngine::local_diagnose(const std::string& spec,
+                                                const DirectedOracle& oracle,
+                                                Node node) {
+  const Timer setup_timer;
+  bool reused = false;
+  const std::shared_ptr<const Calibration> cal =
+      get_or_build(spec, options_.diagnoser.delta, options_.diagnoser.rule,
+                   options_.diagnoser.validate_all_components, oracle.model(),
+                   &reused);
+  const double setup_seconds = setup_timer.seconds();
+  const Timer solve_timer;
+  const LocalDiagnosisResult local = bgm_local_diagnose(cal->graph, oracle,
+                                                        node);
+  DiagnosisResult result;
+  if (local.status != LocalDiagnosisStatus::kUnknown) {
+    // The fast path answered: no DirectedDiagnoser is even constructed —
+    // per-request cost stays at the neighbourhood reads.
+    result = definite_local(local.status, local.lookups, node);
+  } else {
+    DirectedDiagnoser driver(cal->graph, cal->delta());
+    result = restrict_to_node(driver.diagnose(oracle), node, local.lookups);
+  }
+  result.diagnose_seconds = solve_timer.seconds();
   result.calibration_reused = reused;
   result.setup_seconds = setup_seconds;
   return result;
@@ -190,11 +287,35 @@ std::vector<DiagnosisResult> DiagnosisEngine::serve(
       }
       it = scratch
                .emplace(cal.get(),
-                        LaneDiagnoser{cal, make_calibrated_diagnoser(
-                                               cal, options_.diagnoser)})
+                        LaneDiagnoser{cal,
+                                      make_calibrated_diagnoser(
+                                          cal, options_.diagnoser),
+                                      nullptr})
                .first;
     }
     return *it->second.diagnoser;
+  };
+
+  // The directed counterpart: one DirectedDiagnoser per directed
+  // calibration per lane. Model-tagged keys mean a calibration is MM* or
+  // directed, never both, so the two scratch kinds never collide on a key.
+  auto lane_directed =
+      [&](unsigned lane,
+          const std::shared_ptr<const Calibration>& cal) -> DirectedDiagnoser& {
+    auto& scratch = lane_scratch_[lane];
+    auto it = scratch.find(cal.get());
+    if (it == scratch.end()) {
+      if (scratch.size() >= capacity_) {
+        prune_stale(scratch);
+        if (scratch.size() >= capacity_) scratch.clear();
+      }
+      LaneDiagnoser entry;
+      entry.calibration = cal;
+      entry.directed =
+          std::make_unique<DirectedDiagnoser>(cal->graph, cal->delta());
+      it = scratch.emplace(cal.get(), std::move(entry)).first;
+    }
+    return *it->second.directed;
   };
 
   pool_.parallel_for(
@@ -212,7 +333,7 @@ std::vector<DiagnosisResult> DiagnosisEngine::serve(
                                  options_.diagnoser.delta,
                                  options_.diagnoser.rule,
                                  options_.diagnoser.validate_all_components,
-                                 &r);
+                                 DiagnosisModel::kMMStar, &r);
               reused[k] = r;
             }
             Diagnoser& diagnoser = lane_diagnoser(lane, cal);
@@ -255,16 +376,41 @@ std::vector<DiagnosisResult> DiagnosisEngine::serve(
         const std::size_t i = scalar_idx[item - cohorts.size()];
         const EngineRequest& request = requests[i];
         DiagnosisResult& out = results[i];
-        if (request.oracle == nullptr) {
+        if (request.oracle != nullptr && request.directed != nullptr) {
+          out.failure_reason =
+              "request carries both an MM* and a directed oracle";
+          return;
+        }
+        if (request.oracle == nullptr && request.directed == nullptr) {
           out.failure_reason = "null oracle in request";
+          return;
+        }
+        if (request.local_node != kNoNode && request.directed == nullptr) {
+          out.failure_reason =
+              "local_node is set but the request has no directed oracle";
           return;
         }
         try {
           const Timer setup_timer;
           bool reused = false;
+          if (request.directed != nullptr) {
+            const std::shared_ptr<const Calibration> cal = get_or_build(
+                request.spec, options_.diagnoser.delta,
+                options_.diagnoser.rule,
+                options_.diagnoser.validate_all_components,
+                request.directed->model(), &reused);
+            DirectedDiagnoser& driver = lane_directed(lane, cal);
+            const double setup_seconds = setup_timer.seconds();
+            out = run_directed(driver, cal->graph, *request.directed,
+                               request.local_node);
+            out.calibration_reused = reused;
+            out.setup_seconds = setup_seconds;
+            return;
+          }
           const std::shared_ptr<const Calibration> cal = get_or_build(
               request.spec, options_.diagnoser.delta, options_.diagnoser.rule,
-              options_.diagnoser.validate_all_components, &reused);
+              options_.diagnoser.validate_all_components,
+              DiagnosisModel::kMMStar, &reused);
           Diagnoser& diagnoser = lane_diagnoser(lane, cal);
           const double setup_seconds = setup_timer.seconds();
           out = diagnose_devirtualized(diagnoser, *request.oracle);
@@ -288,7 +434,8 @@ std::unique_ptr<Diagnoser> DiagnosisEngine::make_diagnoser(
     const std::string& spec, const DiagnoserOptions& diagnoser_options) {
   const std::shared_ptr<const Calibration> cal = get_or_build(
       spec, diagnoser_options.delta, diagnoser_options.rule,
-      diagnoser_options.validate_all_components, nullptr);
+      diagnoser_options.validate_all_components, DiagnosisModel::kMMStar,
+      nullptr);
   return make_calibrated_diagnoser(cal, diagnoser_options);
 }
 

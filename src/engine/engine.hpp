@@ -37,7 +37,9 @@
 
 #include "core/batch_diagnoser.hpp"
 #include "core/diagnoser.hpp"
+#include "core/directed_diagnoser.hpp"
 #include "engine/calibration.hpp"
+#include "mm/directed_oracle.hpp"
 #include "mm/oracle.hpp"
 #include "util/thread_pool.hpp"
 
@@ -73,9 +75,20 @@ struct EngineCounters {
 /// One unit of a mixed-spec request stream. The oracle is consulted by
 /// exactly one lane (its look-up counter is unsynchronised), so pass one
 /// oracle per request, never a shared one.
+///
+/// Exactly one of `oracle` (MM* comparator syndrome) and `directed`
+/// (PMC/BGM per-arc syndrome; the model tag travels on the oracle) may be
+/// set. A directed request with `local_node` set asks only for that node's
+/// status: under BGM it is served by the local-diagnosis fast path first —
+/// neighbourhood reads, no global solve — falling back to a full
+/// DirectedDiagnoser solve only on kUnknown. The result then reports
+/// success with faults = {local_node} (faulty) or {} (healthy), and
+/// used_local_fast_path says which path answered.
 struct EngineRequest {
   std::string spec;
   const SyndromeOracle* oracle = nullptr;
+  const DirectedOracle* directed = nullptr;
+  Node local_node = kNoNode;
 };
 
 class DiagnosisEngine {
@@ -93,16 +106,33 @@ class DiagnosisEngine {
 
   /// Get-or-build with explicit parameters (delta = 0 resolves to the
   /// topology's default fault bound). The fuzzer uses this to hold both
-  /// probe-rule calibrations of one instance side by side.
+  /// probe-rule calibrations of one instance side by side. Directed models
+  /// get their own cache entries — the key gains a "|model=" tag — holding
+  /// an uncertified CSR bundle (see build_calibration).
   [[nodiscard]] std::shared_ptr<const Calibration> calibration(
       const std::string& spec, unsigned delta, ParentRule rule,
-      bool validate_all = true);
+      bool validate_all = true,
+      DiagnosisModel model = DiagnosisModel::kMMStar);
 
   /// Diagnose one syndrome through the cache. Thread-safe (a fresh
   /// Diagnoser is built per call — use serve() to amortise scratch across a
   /// stream). Fills the result's calibration_reused/setup_seconds split.
   [[nodiscard]] DiagnosisResult diagnose(const std::string& spec,
                                          const SyndromeOracle& oracle);
+
+  /// Diagnose one directed (PMC/BGM) syndrome through the cache; the model
+  /// tag comes from the oracle. Thread-safe; a fresh DirectedDiagnoser is
+  /// built per call.
+  [[nodiscard]] DiagnosisResult diagnose_directed(
+      const std::string& spec, const DirectedOracle& oracle);
+
+  /// Decide one node's status under BGM: the local fast path first, a full
+  /// solve only on kUnknown (see EngineRequest::local_node for the result
+  /// convention). Throws std::invalid_argument on a non-BGM oracle or an
+  /// out-of-range node.
+  [[nodiscard]] DiagnosisResult local_diagnose(const std::string& spec,
+                                               const DirectedOracle& oracle,
+                                               Node node);
 
   /// Diagnose a mixed-spec request stream over the engine's ThreadPool,
   /// reusing per-lane Diagnoser scratch per calibration. requests[i] ->
@@ -151,11 +181,12 @@ class DiagnosisEngine {
     bool implicit = false;  // resolved from options_.graph_mode
   };
   [[nodiscard]] ResolvedKey resolve(const std::string& spec, unsigned delta,
-                                    ParentRule rule, bool validate_all) const;
+                                    ParentRule rule, bool validate_all,
+                                    DiagnosisModel model) const;
 
   [[nodiscard]] std::shared_ptr<const Calibration> get_or_build(
       const std::string& spec, unsigned delta, ParentRule rule,
-      bool validate_all, bool* reused);
+      bool validate_all, DiagnosisModel model, bool* reused);
 
   EngineOptions options_;
   std::size_t capacity_;
@@ -173,11 +204,14 @@ class DiagnosisEngine {
   std::array<std::mutex, kStripes> stripes_;
 
   std::mutex serve_mu_;  // parallel_for is not reentrant
-  /// lane_scratch_[lane] maps calibration -> that lane's Diagnoser; touched
-  /// only by lane `lane` inside serve()'s parallel_for.
+  /// lane_scratch_[lane] maps calibration -> that lane's driver; touched
+  /// only by lane `lane` inside serve()'s parallel_for. A calibration is
+  /// MM* or directed (the model is in its cache key), so exactly one of
+  /// the two driver slots is populated per entry.
   struct LaneDiagnoser {
     std::shared_ptr<const Calibration> calibration;
     std::unique_ptr<Diagnoser> diagnoser;
+    std::unique_ptr<DirectedDiagnoser> directed;
   };
   std::vector<std::unordered_map<const Calibration*, LaneDiagnoser>>
       lane_scratch_;

@@ -4,11 +4,16 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "baselines/directed_exact.hpp"
 #include "baselines/exact_solver.hpp"
 #include "core/batch_diagnoser.hpp"
 #include "core/diagnoser.hpp"
+#include "core/directed_diagnoser.hpp"
 #include "core/verifier.hpp"
+#include "graph/builder.hpp"
 #include "graph/implicit_graph.hpp"
+#include "mm/directed_oracle.hpp"
+#include "mm/directed_syndrome.hpp"
 #include "mm/fault_set.hpp"
 #include "mm/oracle.hpp"
 #include "topology/registry.hpp"
@@ -111,6 +116,192 @@ void check_dispatch_identical(DiffReport& report, const std::string& config,
   }
 }
 
+/// Directed (PMC/BGM) counterpart of run_differential. The voices:
+///
+///   directed-exact  — DirectedExactSolver vs the injected truth. Within the
+///                     promise the injected set is always consistent, so "no
+///                     solution" is a harness bug; a success must return
+///                     exactly the injected set (the unique solution must be
+///                     it). An ambiguous verdict is accepted — directed
+///                     diagnosability at the catalog bounds is not
+///                     re-derived here — and the driver must then agree.
+///   directed-driver — DirectedDiagnoser vs the exact solver: same success
+///                     flag, same faults, same failure reason, in BOTH
+///                     regimes (the driver's deductions are sound for every
+///                     <= delta candidate and its residue search is
+///                     exhaustive, so any disagreement is a bug).
+///   directed-table  — the driver over a materialised DirectedSyndrome
+///                     table must be bit-identical (including look-ups) to
+///                     the lazy-oracle run.
+///   bgm-local       — every node's local diagnosis: definite answers must
+///                     match the injected truth in BOTH regimes (rules 1-3
+///                     hold for fault sets of any size), and per-request
+///                     look-ups must stay within the node's 2-ball bound.
+DiffReport run_differential_directed(FuzzContext& ctx, const FuzzCase& c,
+                                     Sabotage sabotage) {
+  // Model-tagged calibration: no Set_Builder certification, just the graph
+  // and the bound, cached under the "|model=" key.
+  const std::shared_ptr<const Calibration> cal = ctx.engine().calibration(
+      c.spec, c.delta, ParentRule::kSpread, true, c.model);
+  const Graph& graph = cal->graph;
+  const std::size_t n = graph.num_nodes();
+  for (const Node v : c.faults) {
+    if (v >= n) {
+      throw std::invalid_argument("fuzz case: fault id " + std::to_string(v) +
+                                  " out of range for " + c.spec);
+    }
+  }
+  const FaultSet faults(n, c.faults);
+
+  DiffReport report;
+  report.beyond_delta = faults.size() > c.delta;
+  const std::vector<Node>* truth =
+      report.beyond_delta ? nullptr : &faults.nodes();
+
+  const DirectedLazyOracle lazy(graph, faults, c.model, c.behavior,
+                                c.behavior_seed);
+
+  std::optional<DiagnosisResult> exact;
+  try {
+    DirectedExactSolver solver(graph, lazy, c.delta);
+    exact = solver.diagnose();
+    if (truth != nullptr) {
+      if (exact->success && exact->faults != *truth) {
+        report.divergences.push_back(
+            {"directed-exact",
+             "exact solver returned " + join_nodes(exact->faults) +
+                 " for fault set " + join_nodes(*truth)});
+      } else if (!exact->success &&
+                 exact->failure_reason.rfind("ambiguous", 0) != 0) {
+        // The injected set is consistent by construction, so only
+        // ambiguity can stop the exact solver inside the promise.
+        report.divergences.push_back(
+            {"directed-exact",
+             "exact solver claims no consistent candidate, but the injected "
+             "set " +
+                 join_nodes(*truth) + " is one: " + exact->failure_reason});
+      }
+    }
+  } catch (const std::exception& e) {
+    report.divergences.push_back(
+        {"directed-exact", std::string("exact solver threw: ") + e.what()});
+  }
+
+  std::optional<DiagnosisResult> driver;
+  try {
+    DirectedDiagnoser diagnoser(graph, c.delta);
+    driver = diagnoser.diagnose(lazy);
+    if (driver->success && driver->faults.size() > c.delta) {
+      report.divergences.push_back(
+          {"directed-driver",
+           "success claims " + std::to_string(driver->faults.size()) +
+               " faults, more than delta = " + std::to_string(c.delta)});
+    }
+    if (exact && (driver->success != exact->success ||
+                  driver->faults != exact->faults ||
+                  driver->failure_reason != exact->failure_reason)) {
+      report.divergences.push_back(
+          {"directed-driver",
+           "driver disagrees with the exact solver (driver " +
+               (driver->success ? join_nodes(driver->faults)
+                                : "failure: " + driver->failure_reason) +
+               " vs exact " +
+               (exact->success ? join_nodes(exact->faults)
+                               : "failure: " + exact->failure_reason) +
+               ")"});
+    }
+  } catch (const std::exception& e) {
+    report.divergences.push_back(
+        {"directed-driver", std::string("driver threw: ") + e.what()});
+  }
+
+  // Table-oracle bit-identity: same deductions, same order, same counts.
+  if (driver) {
+    try {
+      const DirectedSyndrome syndrome = generate_directed_syndrome(
+          graph, faults, c.model, c.behavior, c.behavior_seed);
+      const DirectedTableOracle table(graph, syndrome, c.model);
+      DirectedDiagnoser diagnoser(graph, c.delta);
+      const DiagnosisResult r = diagnoser.diagnose(table);
+      if (r.success != driver->success || r.faults != driver->faults ||
+          r.failure_reason != driver->failure_reason ||
+          r.lookups != driver->lookups) {
+        report.divergences.push_back(
+            {"directed-table",
+             "table-oracle run not bit-identical to the lazy run (faults " +
+                 join_nodes(r.faults) + " vs " + join_nodes(driver->faults) +
+                 ", lookups " + std::to_string(r.lookups) + " vs " +
+                 std::to_string(driver->lookups) + ")"});
+      }
+    } catch (const std::exception& e) {
+      report.divergences.push_back(
+          {"directed-table", std::string("driver threw: ") + e.what()});
+    }
+  }
+
+  // BGM local diagnosis: definite answers are promises with no fault-bound
+  // caveat, so they are checked against the injected truth in both regimes.
+  if (c.model == DiagnosisModel::kBGM) {
+    try {
+      for (Node u = 0; u < n; ++u) {
+        const LocalDiagnosisResult local = bgm_local_diagnose(graph, lazy, u);
+        const bool injected_faulty = faults.is_faulty(u);
+        if ((local.status == LocalDiagnosisStatus::kHealthy &&
+             injected_faulty) ||
+            (local.status == LocalDiagnosisStatus::kFaulty &&
+             !injected_faulty)) {
+          report.divergences.push_back(
+              {"bgm-local", "node " + std::to_string(u) + " reported " +
+                                to_string(local.status) + " but is " +
+                                (injected_faulty ? "faulty" : "healthy")});
+          break;
+        }
+        std::uint64_t bound = 2 * std::uint64_t{graph.degree(u)};
+        for (const Node v : graph.neighbors(u)) {
+          bound += graph.degree(v) - 1;
+        }
+        if (local.lookups > bound) {
+          report.divergences.push_back(
+              {"bgm-local", "node " + std::to_string(u) + " consumed " +
+                                std::to_string(local.lookups) +
+                                " look-ups, above its 2-ball bound " +
+                                std::to_string(bound)});
+          break;
+        }
+      }
+    } catch (const std::exception& e) {
+      report.divergences.push_back(
+          {"bgm-local", std::string("local diagnosis threw: ") + e.what()});
+    }
+  }
+
+  // Deliberate breakage, for testing the fuzzer itself (the directed
+  // analogues of the MM* sabotage modes: a guard-rejected misuse and a
+  // tampered answer).
+  if (sabotage == Sabotage::kRuleMismatch) {
+    try {
+      const Graph tiny = build_graph_from_edges(2, {{0, 1}});
+      const FaultSet none(2, {});
+      const DirectedLazyOracle mismatched(tiny, none, c.model, c.behavior,
+                                          c.behavior_seed);
+      DirectedDiagnoser diagnoser(graph, c.delta);
+      const DiagnosisResult r = diagnoser.diagnose(mismatched);
+      check_result(report, "sabotage-rule-mismatch", r, truth, c);
+    } catch (const std::exception& e) {
+      report.divergences.push_back(
+          {"sabotage-rule-mismatch", std::string("driver threw: ") + e.what()});
+    }
+  } else if (sabotage == Sabotage::kDropFault && driver) {
+    DiagnosisResult tampered = *driver;
+    if (tampered.success && !tampered.faults.empty()) {
+      tampered.faults.pop_back();
+      check_result(report, "sabotage-drop-fault", tampered, truth, c);
+    }
+  }
+
+  return report;
+}
+
 }  // namespace
 
 EngineOptions FuzzContext::engine_options() {
@@ -161,6 +352,9 @@ Sabotage sabotage_from_string(const std::string& name) {
 
 DiffReport run_differential(FuzzContext& ctx, const FuzzCase& c,
                             Sabotage sabotage) {
+  if (is_directed_model(c.model)) {
+    return run_differential_directed(ctx, c, sabotage);
+  }
   const FuzzSetup& s = ctx.setup(c.spec, c.delta);
   const std::size_t n = s.graph().num_nodes();
   for (const Node v : c.faults) {

@@ -98,6 +98,7 @@ void write_repro(std::ostream& os, const FuzzCase& c) {
   os << "behavior " << to_string(c.behavior) << "\n";
   os << "behavior-seed " << c.behavior_seed << "\n";
   os << "rule " << parent_rule_to_string(c.rule) << "\n";
+  os << "model " << diagnosis_model_to_string(c.model) << "\n";
   os << "faults";
   for (const Node v : c.faults) os << ' ' << v;
   os << "\nend\n";
@@ -139,6 +140,14 @@ FuzzCase read_repro(std::istream& is) {
   if (line.rfind("rule ", 0) == 0) {
     try {
       c.rule = parent_rule_from_string(line.substr(5));
+    } catch (const std::invalid_argument& e) {
+      fail(lineno, e.what());
+    }
+    if (!next_record(is, line, lineno)) fail(lineno, "expected 'faults [id...]'");
+  }
+  if (line.rfind("model ", 0) == 0) {
+    try {
+      c.model = diagnosis_model_from_string(line.substr(6));
     } catch (const std::invalid_argument& e) {
       fail(lineno, e.what());
     }

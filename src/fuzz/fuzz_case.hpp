@@ -23,6 +23,7 @@
 
 #include "core/set_builder.hpp"
 #include "mm/behavior.hpp"
+#include "util/enum_names.hpp"
 #include "util/types.hpp"
 
 namespace mmdiag {
@@ -67,6 +68,10 @@ struct FuzzCase {
   /// Provenance: the probe parent rule of the first diverging configuration
   /// (the differ always replays every configuration regardless).
   ParentRule rule = ParentRule::kSpread;
+  /// Which test semantics the case's syndromes are generated under (and so
+  /// which voices the differ races): MM* comparator matrices or a directed
+  /// per-arc model.
+  DiagnosisModel model = DiagnosisModel::kMMStar;
   std::vector<Node> faults;        // sorted ascending; the replayed ground truth
 };
 
@@ -80,12 +85,16 @@ struct FuzzCase {
 //   behavior anti-diagnostic
 //   behavior-seed 99
 //   rule spread
+//   model pmc
 //   faults 3 17 21
 //   end
 //
 // `faults` with no ids pins the fault-free case. The `rule` line (parent
 // rule names via parent_rule_to_string) is optional on read — repro files
-// written before it existed default to spread.
+// written before it existed default to spread — and so is the `model` line
+// (diagnosis_model_to_string names), defaulting to mm-star; both stay
+// inside the v1 header because old readers never tolerated unknown fields
+// and old files must keep replaying.
 void write_repro(std::ostream& os, const FuzzCase& c);
 
 /// Throws std::runtime_error with a line-numbered message on malformed

@@ -84,6 +84,11 @@ FuzzCase Fuzzer::generate(std::uint64_t index) {
   c.delta = entry.delta;
   c.pattern = kAllInjectionPatterns[rng.below(std::size(kAllInjectionPatterns))];
   c.behavior = kAllFaultyBehaviors[rng.below(std::size(kAllFaultyBehaviors))];
+  // The model only selects which differ voices run; fault placement below
+  // (including the kTargeted component pools) is model-independent.
+  c.model = options_.models.empty()
+                ? DiagnosisModel::kMMStar
+                : options_.models[rng.below(options_.models.size())];
   // One case in eight leaves the promised regime: the driver must then fail
   // gracefully rather than fabricate an answer.
   const bool beyond = rng.below(8) == 0;
@@ -172,6 +177,7 @@ FuzzSummary Fuzzer::run() {
     ++summary.cases_run;
     ++summary.cases_per_family[family_of(c.spec)];
     ++summary.cases_per_pattern[to_string(c.pattern)];
+    ++summary.cases_per_model[diagnosis_model_to_string(c.model)];
     const DiffReport report = run_differential(ctx_, c, options_.sabotage);
     summary.beyond_delta_cases += report.beyond_delta ? 1 : 0;
     if (!report.diverged()) continue;

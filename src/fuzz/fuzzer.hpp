@@ -25,6 +25,11 @@ struct FuzzOptions {
   std::uint64_t cases = 500;
   std::uint64_t seed = 1;
   Sabotage sabotage = Sabotage::kNone;
+  /// The diagnosis models cases rotate over (drawn uniformly per case);
+  /// restrict to one entry to fuzz a single model's voices. Empty falls
+  /// back to MM* only.
+  std::vector<DiagnosisModel> models = {
+      DiagnosisModel::kMMStar, DiagnosisModel::kPMC, DiagnosisModel::kBGM};
   /// Stop after this many minimized bugs (each costs a minimization run);
   /// 0 = keep going through the whole case stream.
   std::size_t max_bugs = 1;
@@ -46,6 +51,7 @@ struct FuzzSummary {
   std::uint64_t beyond_delta_cases = 0;
   std::map<std::string, std::uint64_t> cases_per_family;
   std::map<std::string, std::uint64_t> cases_per_pattern;
+  std::map<std::string, std::uint64_t> cases_per_model;
   std::vector<FuzzBug> bugs;
   bool budget_exhausted = false;
   [[nodiscard]] bool clean() const noexcept { return bugs.empty(); }

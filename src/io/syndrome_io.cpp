@@ -28,15 +28,73 @@ bool next_record(std::istream& is, std::string& line, std::size_t& lineno) {
   return false;
 }
 
+/// Header fields plus the first post-header record, which detecting the
+/// optional model line had to consume — the record readers drain it first.
+struct HeaderInfo {
+  std::string spec;
+  DiagnosisModel model = DiagnosisModel::kMMStar;
+  std::string pending;
+  bool has_pending = false;
+};
+
+/// Shared header: "mmdiag-syndrome v1" + "topology <spec>" + optional
+/// "model <name>" (absent means mm-star, keeping pre-model files valid).
+HeaderInfo read_header(std::istream& is, std::size_t& lineno) {
+  HeaderInfo h;
+  std::string line;
+  if (!next_record(is, line, lineno) || line != "mmdiag-syndrome v1") {
+    fail(lineno, "expected header 'mmdiag-syndrome v1'");
+  }
+  if (!next_record(is, line, lineno) || line.rfind("topology ", 0) != 0) {
+    fail(lineno, "expected 'topology <spec>'");
+  }
+  h.spec = line.substr(9);
+  if (next_record(is, line, lineno)) {
+    if (line.rfind("model ", 0) == 0) {
+      try {
+        h.model = diagnosis_model_from_string(line.substr(6));
+      } catch (const std::exception& e) {
+        fail(lineno, e.what());
+      }
+    } else {
+      h.pending = std::move(line);
+      h.has_pending = true;
+    }
+  }
+  return h;
+}
+
+/// Yields the next record, draining the header's pending line first.
+bool next_body_record(std::istream& is, HeaderInfo& h, std::string& line,
+                      std::size_t& lineno) {
+  if (h.has_pending) {
+    line = std::move(h.pending);
+    h.has_pending = false;
+    return true;
+  }
+  return next_record(is, line, lineno);
+}
+
+[[noreturn]] void fail_wrong_model(std::size_t lineno, DiagnosisModel model,
+                                   bool want_directed) {
+  const std::string name = diagnosis_model_to_string(model);
+  if (want_directed) {
+    fail(lineno, "file carries an mm-star syndrome (model '" + name +
+                     "'): use read_syndrome");
+  }
+  fail(lineno, "file carries a directed syndrome (model '" + name +
+                   "'): use read_directed_syndrome");
+}
+
 /// Shared body: the "node <id> <bits>" records up to "end", writing into a
 /// syndrome sized for `graph`.
-Syndrome read_syndrome_records(std::istream& is, const Graph& graph,
-                               std::size_t& lineno) {
+Syndrome read_syndrome_records(std::istream& is, HeaderInfo& h,
+                               const Graph& graph, std::size_t& lineno) {
   Syndrome syndrome(graph);
   std::vector<bool> seen(graph.num_nodes(), false);
   std::size_t remaining = graph.num_nodes();
   std::string line;
-  while (next_record(is, line, lineno)) {
+  while (next_body_record(is, h, line, lineno)) {
     if (line == "end") {
       if (remaining != 0) {
         fail(lineno, std::to_string(remaining) + " node record(s) missing");
@@ -73,19 +131,55 @@ Syndrome read_syndrome_records(std::istream& is, const Graph& graph,
   fail(lineno, "missing 'end'");
 }
 
-/// Shared header: "mmdiag-syndrome v1" + "topology <spec>"; returns spec.
-std::string read_syndrome_header(std::istream& is, std::size_t& lineno) {
+/// Directed body: <bits> is the node's outgoing arc run, one character per
+/// adjacency position (character p = outcome of testing neighbour p).
+DirectedSyndrome read_directed_records(std::istream& is, HeaderInfo& h,
+                                       const Graph& graph,
+                                       std::size_t& lineno) {
+  DirectedSyndrome syndrome(graph);
+  std::vector<bool> seen(graph.num_nodes(), false);
+  std::size_t remaining = graph.num_nodes();
   std::string line;
-  if (!next_record(is, line, lineno) || line != "mmdiag-syndrome v1") {
-    fail(lineno, "expected header 'mmdiag-syndrome v1'");
+  while (next_body_record(is, h, line, lineno)) {
+    if (line == "end") {
+      if (remaining != 0) {
+        fail(lineno, std::to_string(remaining) + " node record(s) missing");
+      }
+      return syndrome;
+    }
+    std::istringstream ls(line);
+    std::string keyword, bits;
+    std::uint64_t id = 0;
+    if (!(ls >> keyword >> id >> bits) || keyword != "node") {
+      fail(lineno, "expected 'node <id> <bits>'");
+    }
+    if (id >= graph.num_nodes()) fail(lineno, "node id out of range");
+    if (seen[id]) fail(lineno, "duplicate node record");
+    seen[id] = true;
+    --remaining;
+    const unsigned d = graph.degree(static_cast<Node>(id));
+    if (bits == "-" && d == 0) continue;
+    if (bits.size() != d) {
+      fail(lineno, "expected " + std::to_string(d) + " bits, got " +
+                       std::to_string(bits.size()));
+    }
+    for (unsigned p = 0; p < d; ++p) {
+      if (bits[p] != '0' && bits[p] != '1') {
+        fail(lineno, "bits must be 0 or 1");
+      }
+      syndrome.set_test(static_cast<Node>(id), p, bits[p] == '1');
+    }
   }
-  if (!next_record(is, line, lineno) || line.rfind("topology ", 0) != 0) {
-    fail(lineno, "expected 'topology <spec>'");
-  }
-  return line.substr(9);
+  fail(lineno, "missing 'end'");
 }
 
 }  // namespace
+
+SyndromeFileHeader peek_syndrome_header(std::istream& is) {
+  std::size_t lineno = 0;
+  const HeaderInfo h = read_header(is, lineno);
+  return SyndromeFileHeader{h.spec, h.model};
+}
 
 void write_syndrome(std::ostream& os, const std::string& spec,
                     const Graph& graph, const Syndrome& syndrome) {
@@ -107,15 +201,16 @@ void write_syndrome(std::ostream& os, const std::string& spec,
 
 LoadedSyndrome read_syndrome(std::istream& is) {
   std::size_t lineno = 0;
-  LoadedSyndrome out{read_syndrome_header(is, lineno), nullptr, Graph{},
-                     Syndrome{Graph{}}};
+  HeaderInfo h = read_header(is, lineno);
+  if (is_directed_model(h.model)) fail_wrong_model(lineno, h.model, false);
+  LoadedSyndrome out{h.spec, nullptr, Graph{}, Syndrome{Graph{}}};
   try {
     out.topology = make_topology_from_spec(out.spec);
   } catch (const std::exception& e) {
     fail(lineno, std::string("bad topology spec: ") + e.what());
   }
   out.graph = out.topology->build_graph();
-  out.syndrome = read_syndrome_records(is, out.graph, lineno);
+  out.syndrome = read_syndrome_records(is, h, out.graph, lineno);
   return out;
 }
 
@@ -123,7 +218,9 @@ ParsedSyndrome read_syndrome(
     std::istream& is,
     const std::function<const Graph&(const std::string& spec)>& resolve) {
   std::size_t lineno = 0;
-  ParsedSyndrome out{read_syndrome_header(is, lineno), Syndrome{Graph{}}};
+  HeaderInfo h = read_header(is, lineno);
+  if (is_directed_model(h.model)) fail_wrong_model(lineno, h.model, false);
+  ParsedSyndrome out{h.spec, Syndrome{Graph{}}};
   const Graph* graph = nullptr;
   try {
     graph = &resolve(out.spec);
@@ -131,7 +228,46 @@ ParsedSyndrome read_syndrome(
     fail(lineno, "cannot resolve topology spec '" + out.spec +
                      "': " + e.what());
   }
-  out.syndrome = read_syndrome_records(is, *graph, lineno);
+  out.syndrome = read_syndrome_records(is, h, *graph, lineno);
+  return out;
+}
+
+void write_directed_syndrome(std::ostream& os, const std::string& spec,
+                             DiagnosisModel model, const Graph& graph,
+                             const DirectedSyndrome& syndrome) {
+  if (!is_directed_model(model)) {
+    throw std::invalid_argument(
+        "write_directed_syndrome: mm-star syndromes go through "
+        "write_syndrome");
+  }
+  os << "mmdiag-syndrome v1\n";
+  os << "topology " << spec << "\n";
+  os << "model " << diagnosis_model_to_string(model) << "\n";
+  std::string bits;
+  for (Node u = 0; u < graph.num_nodes(); ++u) {
+    const unsigned d = graph.degree(u);
+    bits.clear();
+    for (unsigned p = 0; p < d; ++p) {
+      bits.push_back(syndrome.test(u, p) ? '1' : '0');
+    }
+    os << "node " << u << " " << (bits.empty() ? "-" : bits) << "\n";
+  }
+  os << "end\n";
+}
+
+LoadedDirectedSyndrome read_directed_syndrome(std::istream& is) {
+  std::size_t lineno = 0;
+  HeaderInfo h = read_header(is, lineno);
+  if (!is_directed_model(h.model)) fail_wrong_model(lineno, h.model, true);
+  LoadedDirectedSyndrome out{h.spec, h.model, nullptr, Graph{},
+                             DirectedSyndrome{Graph{}}};
+  try {
+    out.topology = make_topology_from_spec(out.spec);
+  } catch (const std::exception& e) {
+    fail(lineno, std::string("bad topology spec: ") + e.what());
+  }
+  out.graph = out.topology->build_graph();
+  out.syndrome = read_directed_records(is, h, out.graph, lineno);
   return out;
 }
 

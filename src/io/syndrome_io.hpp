@@ -5,15 +5,20 @@
 //
 //   mmdiag-syndrome v1
 //   topology <family> <params...>
+//   model <mm-star|pmc|bgm>          (optional; absent means mm-star)
 //   node <id> <bits>
 //   ...
 //   end
 //
-// <bits> is the node's triangular pair-test block, one character per
-// unordered neighbour pair in (i,j) lexicographic order (i < j over
-// adjacency positions), '0' or '1'. Every node of the topology must appear
-// exactly once. The topology line rebuilds adjacency deterministically, so
-// positions are unambiguous.
+// Under MM* <bits> is the node's triangular pair-test block, one character
+// per unordered neighbour pair in (i,j) lexicographic order (i < j over
+// adjacency positions), '0' or '1'. Under the directed models (PMC, BGM)
+// <bits> is the node's outgoing arc run instead: character p is the
+// outcome of the node testing its p-th neighbour, d characters total.
+// Every node of the topology must appear exactly once. The topology line
+// rebuilds adjacency deterministically, so positions are unambiguous. The
+// model line stays inside the v1 header — pre-model files parse unchanged,
+// mirroring the .repro format's optional provenance lines.
 #pragma once
 
 #include <functional>
@@ -22,8 +27,10 @@
 #include <string>
 
 #include "graph/graph.hpp"
+#include "mm/directed_syndrome.hpp"
 #include "mm/syndrome.hpp"
 #include "topology/topology.hpp"
+#include "util/enum_names.hpp"
 
 namespace mmdiag {
 
@@ -33,6 +40,22 @@ struct LoadedSyndrome {
   Graph graph;
   Syndrome syndrome;
 };
+
+struct LoadedDirectedSyndrome {
+  std::string spec;
+  DiagnosisModel model = DiagnosisModel::kPMC;
+  std::unique_ptr<Topology> topology;
+  Graph graph;
+  DirectedSyndrome syndrome;
+};
+
+/// Just the header of a syndrome file (version, topology, optional model)
+/// — lets a caller dispatch to the matching reader before a full parse.
+struct SyndromeFileHeader {
+  std::string spec;
+  DiagnosisModel model = DiagnosisModel::kMMStar;
+};
+[[nodiscard]] SyndromeFileHeader peek_syndrome_header(std::istream& is);
 
 /// A syndrome parsed against a caller-resolved graph (no per-file topology
 /// or graph build — see the resolver overload of read_syndrome).
@@ -45,9 +68,20 @@ struct ParsedSyndrome {
 void write_syndrome(std::ostream& os, const std::string& spec,
                     const Graph& graph, const Syndrome& syndrome);
 
-/// Parse a syndrome file; throws std::runtime_error with a line-numbered
-/// message on any malformed input.
+/// Parse an MM* syndrome file; throws std::runtime_error with a
+/// line-numbered message on any malformed input, including a file whose
+/// model line names a directed model (use read_directed_syndrome there).
 [[nodiscard]] LoadedSyndrome read_syndrome(std::istream& is);
+
+/// Serialise a directed (PMC/BGM) syndrome; the model line is always
+/// written. Throws std::invalid_argument on a non-directed model.
+void write_directed_syndrome(std::ostream& os, const std::string& spec,
+                             DiagnosisModel model, const Graph& graph,
+                             const DirectedSyndrome& syndrome);
+
+/// Parse a directed syndrome file (same error discipline as read_syndrome;
+/// an MM* file — no model line, or "model mm-star" — is rejected).
+[[nodiscard]] LoadedDirectedSyndrome read_directed_syndrome(std::istream& is);
 
 /// As above, but the graph comes from `resolve(spec)` instead of a fresh
 /// topology+graph build per file. Engine-backed entry points (serve, batch)

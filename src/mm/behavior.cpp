@@ -53,4 +53,26 @@ bool faulty_test_result(FaultyBehavior behavior, std::uint64_t seed, Node u,
   return false;
 }
 
+bool directed_test_result(DiagnosisModel model, FaultyBehavior behavior,
+                          std::uint64_t seed, Node u, Node v, bool u_faulty,
+                          bool v_faulty) {
+  if (!u_faulty) return v_faulty;  // a healthy tester is reliable
+  // BGM's asymmetric invalidation: faulty-tests-faulty is forced to 1; the
+  // behaviour only governs a faulty tester's reports about healthy units.
+  if (model == DiagnosisModel::kBGM && v_faulty) return true;
+  switch (behavior) {
+    case FaultyBehavior::kRandom:
+      // Ordered (u, v): the reverse arc draws independently.
+      return (mix64(seed, u, v) & 1ULL) != 0;
+    case FaultyBehavior::kAllZero:
+      return false;
+    case FaultyBehavior::kAllOne:
+      return true;
+    case FaultyBehavior::kAntiDiagnostic:
+      // A healthy tester would report v_faulty; invert it.
+      return !v_faulty;
+  }
+  return false;
+}
+
 }  // namespace mmdiag

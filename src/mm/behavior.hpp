@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <string>
 
+#include "util/enum_names.hpp"
 #include "util/types.hpp"
 
 namespace mmdiag {
@@ -37,5 +38,18 @@ inline constexpr FaultyBehavior kAllFaultyBehaviors[] = {
 [[nodiscard]] bool faulty_test_result(FaultyBehavior behavior,
                                       std::uint64_t seed, Node u, Node v,
                                       Node w, bool v_faulty, bool w_faulty);
+
+/// The outcome of the *directed* test u -> v under a PMC-family model: a
+/// healthy u reports v's true state; a faulty u reports whatever the
+/// behaviour dictates — except that under kBGM (asymmetric invalidation) a
+/// faulty tester testing a faulty unit is forced to report 1 before the
+/// behaviour is even consulted. The kRandom stream hashes the *ordered*
+/// pair (u, v), so the two arcs of one edge are independent draws — the
+/// asymmetric-outcome property directed models need (and tests pin).
+/// model must be a directed model (kPMC or kBGM), never kMMStar.
+[[nodiscard]] bool directed_test_result(DiagnosisModel model,
+                                        FaultyBehavior behavior,
+                                        std::uint64_t seed, Node u, Node v,
+                                        bool u_faulty, bool v_faulty);
 
 }  // namespace mmdiag

@@ -1,0 +1,47 @@
+#include "mm/directed_syndrome.hpp"
+
+#include <stdexcept>
+
+namespace mmdiag {
+
+DirectedSyndrome::DirectedSyndrome(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  offsets_.resize(n + 1);
+  degree_.resize(n);
+  std::uint64_t total = 0;
+  for (std::size_t u = 0; u < n; ++u) {
+    offsets_[u] = total;
+    const std::uint64_t d = g.degree(static_cast<Node>(u));
+    degree_[u] = static_cast<std::uint32_t>(d);
+    total += d;
+  }
+  offsets_[n] = total;
+  bits_ = BitVec(total);
+}
+
+DirectedSyndrome generate_directed_syndrome(const Graph& g,
+                                            const FaultSet& faults,
+                                            DiagnosisModel model,
+                                            FaultyBehavior behavior,
+                                            std::uint64_t seed) {
+  if (!is_directed_model(model)) {
+    throw std::invalid_argument(
+        "generate_directed_syndrome: MM* syndromes are comparator matrices — "
+        "use generate_syndrome");
+  }
+  DirectedSyndrome s(g);
+  const std::size_t n = g.num_nodes();
+  for (std::size_t u = 0; u < n; ++u) {
+    const auto node = static_cast<Node>(u);
+    const auto adj = g.neighbors(node);
+    const bool u_faulty = faults.is_faulty(node);
+    for (unsigned p = 0; p < adj.size(); ++p) {
+      s.set_test(node, p,
+                 directed_test_result(model, behavior, seed, node, adj[p],
+                                      u_faulty, faults.is_faulty(adj[p])));
+    }
+  }
+  return s;
+}
+
+}  // namespace mmdiag

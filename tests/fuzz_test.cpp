@@ -158,10 +158,12 @@ TEST(FuzzSabotage, RuleMismatchIsCaughtByTheAdoptingCtor) {
   // The historical bug class: adopting a kSpread-calibrated partition with
   // kLeastFirst options. Every case trips it, so the minimizer must reach
   // a fault-free case; the divergence must be the ctor's rejection, not a
-  // silent wrong diagnosis.
+  // silent wrong diagnosis. MM*-only stream: the adopting ctor is an MM*
+  // driver detail (model_fuzz_test covers the directed sabotage analogues).
   FuzzOptions options;
   options.cases = 10;
   options.seed = 3;
+  options.models = {DiagnosisModel::kMMStar};
   options.sabotage = Sabotage::kRuleMismatch;
   Fuzzer fuzzer(options);
   const FuzzSummary summary = fuzzer.run();

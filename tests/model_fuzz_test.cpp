@@ -1,0 +1,88 @@
+// Per-model differential fuzzing: >= 300 cases per diagnosis model raced
+// against that model's exact solver with zero divergences, plus the
+// rotation guarantee that a default fuzz run exercises every model and the
+// directed sabotage modes that prove the directed voices can still lose.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fuzz/fuzzer.hpp"
+
+namespace mmdiag {
+namespace {
+
+FuzzSummary run_for_model(DiagnosisModel model, std::uint64_t cases,
+                          std::uint64_t seed) {
+  FuzzOptions options;
+  options.cases = cases;
+  options.seed = seed;
+  options.models = {model};
+  Fuzzer fuzzer(options);
+  return fuzzer.run();
+}
+
+std::string first_bug(const FuzzSummary& summary) {
+  if (summary.clean()) return "";
+  return "[" + summary.bugs.front().config + "] " +
+         summary.bugs.front().detail;
+}
+
+TEST(ModelFuzz, MmStarThreeHundredCasesClean) {
+  const FuzzSummary s = run_for_model(DiagnosisModel::kMMStar, 300, 11);
+  EXPECT_EQ(s.cases_run, 300u);
+  EXPECT_TRUE(s.clean()) << first_bug(s);
+  EXPECT_EQ(s.cases_per_model.at("mm-star"), 300u);
+}
+
+TEST(ModelFuzz, PmcThreeHundredCasesClean) {
+  const FuzzSummary s = run_for_model(DiagnosisModel::kPMC, 300, 12);
+  EXPECT_EQ(s.cases_run, 300u);
+  EXPECT_TRUE(s.clean()) << first_bug(s);
+  EXPECT_EQ(s.cases_per_model.at("pmc"), 300u);
+  EXPECT_GT(s.beyond_delta_cases, 0u);  // both regimes raced
+}
+
+TEST(ModelFuzz, BgmThreeHundredCasesClean) {
+  const FuzzSummary s = run_for_model(DiagnosisModel::kBGM, 300, 13);
+  EXPECT_EQ(s.cases_run, 300u);
+  EXPECT_TRUE(s.clean()) << first_bug(s);
+  EXPECT_EQ(s.cases_per_model.at("bgm"), 300u);
+  EXPECT_GT(s.beyond_delta_cases, 0u);
+}
+
+TEST(ModelFuzz, DefaultStreamRotatesOverEveryModel) {
+  FuzzOptions options;
+  options.cases = 120;
+  options.seed = 14;
+  Fuzzer fuzzer(options);
+  const FuzzSummary s = fuzzer.run();
+  EXPECT_TRUE(s.clean()) << first_bug(s);
+  ASSERT_EQ(s.cases_per_model.size(), 3u);
+  for (const auto& [model, count] : s.cases_per_model) {
+    EXPECT_GT(count, 0u) << model;
+  }
+}
+
+TEST(ModelFuzz, DirectedSabotageModesStillDiverge) {
+  // The directed voices must be able to lose: both sabotage modes have
+  // directed analogues, and a directed-only stream must catch them.
+  for (const Sabotage sabotage :
+       {Sabotage::kRuleMismatch, Sabotage::kDropFault}) {
+    for (const DiagnosisModel model :
+         {DiagnosisModel::kPMC, DiagnosisModel::kBGM}) {
+      FuzzOptions options;
+      options.cases = 60;
+      options.seed = 15;
+      options.models = {model};
+      options.sabotage = sabotage;
+      Fuzzer fuzzer(options);
+      const FuzzSummary s = fuzzer.run();
+      EXPECT_FALSE(s.clean())
+          << diagnosis_model_to_string(model) << " sabotage mode "
+          << static_cast<int>(sabotage) << " went undetected";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mmdiag
