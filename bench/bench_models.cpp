@@ -17,6 +17,7 @@
 #include <iomanip>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_json.hpp"
@@ -75,6 +76,8 @@ int run(bool smoke, const std::string& out_path) {
   JsonBenchReport report("bench_models");
   report.set_meta("smoke", JsonValue::boolean(smoke));
   report.set_meta("syndromes_per_row", JsonValue::num(syndromes));
+  report.set_meta("hardware_threads",
+                  JsonValue::num(std::thread::hardware_concurrency()));
 
   std::cout << std::left << std::setw(15) << "topology" << std::setw(9)
             << "model" << std::setw(8) << "mode" << std::right << std::setw(9)

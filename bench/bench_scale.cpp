@@ -21,6 +21,7 @@
 #include <iomanip>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -86,6 +87,8 @@ int run(bool smoke, const std::string& out_path) {
   JsonBenchReport report("bench_scale");
   report.set_meta("smoke", JsonValue::boolean(smoke));
   report.set_meta("syndromes_per_row", JsonValue::num(syndromes));
+  report.set_meta("hardware_threads",
+                  JsonValue::num(std::thread::hardware_concurrency()));
 
   std::cout << std::left << std::setw(15) << "topology" << std::right
             << std::setw(10) << "nodes" << std::setw(7) << "delta"

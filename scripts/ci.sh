@@ -179,26 +179,87 @@ else
   echo "model smoke: bench_models not built, skipped"
 fi
 
+if [ -x bench/bench_shard ]; then
+  # The shard smoke must show the owner/halo engine sharding a >= 2^16 node
+  # instance bit-identically to the monolith — same faults, probes AND
+  # counted look-ups — inside a per-shard row-store budget below the
+  # monolithic CSR (the binary itself exits non-zero on divergence; the
+  # JSON fields are re-checked here so a reporting bug cannot mask one).
+  ./bench/bench_shard --smoke --out BENCH_shard.json
+  if command -v python3 >/dev/null; then
+    python3 - <<'PY'
+import json
+with open("BENCH_shard.json") as f:
+    report = json.load(f)
+assert "hardware_threads" in report, "bench_shard lost its hardware_threads meta"
+rows = report["results"]
+assert rows, "BENCH_shard.json has no results"
+identity = [r for r in rows if r["mode"] == "identity"]
+assert identity, "no identity rows: the sharded engine never raced the monolith"
+assert any(r["nodes"] >= 65536 and r["shards"] >= 2 for r in identity), \
+    "no sharded row reached 2^16 nodes"
+for r in identity:
+    assert r["identical_to_monolithic"], \
+        f"sharded engine diverged from the monolith: {r}"
+    assert r["lookups_identical"], \
+        f"sharded engine changed the counted look-ups: {r}"
+    assert r["monolithic_lookups"] == r["sharded_lookups"], f"look-ups differ: {r}"
+    assert r["store_below_monolithic_csr"], \
+        f"a shard's row store outgrew the monolithic CSR: {r}"
+    assert r["peak_rss_kb"] < 262144, \
+        f"shard smoke exceeded the 256 MB peak-RSS budget: {r}"
+print(f"shard smoke: {len(identity)} identity rows, sharded engine "
+      "bit-identical to the monolith with unchanged look-up counts")
+PY
+  else
+    echo "shard smoke: python3 unavailable, JSON validation skipped"
+  fi
+else
+  echo "shard smoke: bench_shard not built, skipped"
+fi
+
+# hardware_threads must be present in every bench report that carries
+# speed numbers, so a reader can tell a 1-thread CI container's timings
+# from a workstation's (the sharded speedup rows are meaningless without
+# it).
+if command -v python3 >/dev/null; then
+  python3 - <<'PY'
+import json
+for name in ("BENCH_scale.json", "BENCH_models.json", "BENCH_shard.json"):
+    try:
+        with open(name) as f:
+            report = json.load(f)
+    except FileNotFoundError:
+        continue  # that bench was skipped above
+    assert "hardware_threads" in report, f"{name} lost its hardware_threads meta"
+    assert report["hardware_threads"] >= 1, f"{name} hardware_threads degenerate"
+print("meta smoke: hardware_threads recorded in every emitted bench report")
+PY
+fi
+
 # UBSan pass over the word-level kernels the bitsliced path leans on:
 # extract/row_bits/transpose64 shift edge cases trap at runtime under
 # -fsanitize=undefined instead of silently wrapping, and the directed-model
 # suites ride along so PMC/BGM hash and bit plumbing get the same scrutiny.
-# Only the suites that exercise those kernels are built, so the pass stays
-# cheap.
+# shard_test rides along too: the sharded engine's frontier bitmaps, halo
+# slot maps and merge cursors are all word/index arithmetic. Only the
+# suites that exercise those kernels are built, so the pass stays cheap.
 cd ..
 cmake -B build-ubsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=undefined -fno-sanitize-recover=all" \
   "$@"
 cmake --build build-ubsan -j --target util_test syndrome_test \
-  dispatch_equiv_test model_test directed_solver_test model_fuzz_test
+  dispatch_equiv_test model_test directed_solver_test model_fuzz_test \
+  shard_test
 ./build-ubsan/tests/util_test
 ./build-ubsan/tests/syndrome_test
 ./build-ubsan/tests/dispatch_equiv_test
 ./build-ubsan/tests/model_test
 ./build-ubsan/tests/directed_solver_test
 ./build-ubsan/tests/model_fuzz_test
-echo "ubsan smoke: word-level kernel and directed-model suites clean" \
+./build-ubsan/tests/shard_test
+echo "ubsan smoke: word-level kernel, directed-model and shard suites clean" \
      "under -fsanitize=undefined"
 cd build
 

@@ -335,7 +335,11 @@ void SetBuilder::run_sliced_impl(const BitSlicedOracle& oracle, Node u0,
           if (needed >= 3) {
             row = oracle.transposed_row(u, parent_pos);
           } else if (needed != 0) {
-            oracle.gather_rows(u, parent_pos);
+            // A prior run of this cohort (a probe, for the final pass) may
+            // have transposed this exact (u, pivot) already; the cached
+            // block is cheaper than even a 1-column gather.
+            row = oracle.cached_row(u, parent_pos);
+            if (row == nullptr) oracle.gather_rows(u, parent_pos);
           }
           for (unsigned k = 0; k < needed; ++k) {
             const unsigned p = pos_of[k];

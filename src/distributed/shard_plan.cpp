@@ -1,0 +1,146 @@
+#include "distributed/shard_plan.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "graph/implicit_graph.hpp"
+
+namespace mmdiag {
+
+namespace {
+
+std::vector<Node> make_cuts(std::uint64_t num_nodes, unsigned shards,
+                            std::uint64_t align_unit) {
+  if (shards == 0 || shards > ShardPlan::kMaxShards) {
+    throw std::invalid_argument("ShardPlan: shards must be in [1, 64]");
+  }
+  std::vector<Node> cuts(shards + 1);
+  if (align_unit > 1 && align_unit * shards <= num_nodes) {
+    // Distribute whole alignment units evenly; the guard ensures at least
+    // one unit per shard, so interior cuts strictly increase. Any
+    // remainder (num_nodes not a multiple of align_unit) lands in the
+    // last shard via the final cut below.
+    const std::uint64_t units = num_nodes / align_unit;
+    for (unsigned s = 0; s < shards; ++s) {
+      cuts[s] = static_cast<Node>(align_unit * (s * units / shards));
+    }
+  } else {
+    for (unsigned s = 0; s < shards; ++s) {
+      cuts[s] = static_cast<Node>(s * num_nodes / shards);
+    }
+  }
+  cuts[shards] = static_cast<Node>(num_nodes);
+  return cuts;
+}
+
+// Sort-unique a node list and coalesce runs of consecutive ids into ranges.
+std::vector<ShardRange> coalesce(std::vector<Node>& nodes) {
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  std::vector<ShardRange> ranges;
+  for (std::size_t i = 0; i < nodes.size();) {
+    std::size_t j = i + 1;
+    while (j < nodes.size() && nodes[j] == nodes[j - 1] + 1) ++j;
+    ranges.push_back({nodes[i], nodes[j - 1] + 1});
+    i = j;
+  }
+  return ranges;
+}
+
+}  // namespace
+
+ShardPlan::ShardPlan(std::size_t num_nodes, unsigned shards,
+                     std::uint64_t align_unit) {
+  cuts_ = make_cuts(num_nodes, shards, align_unit);
+  halo_.resize(shards);
+  halo_prefix_.assign(shards, std::vector<std::uint64_t>{0});
+}
+
+ShardPlan ShardPlan::make(const Topology& topology, unsigned shards,
+                          const PartitionPlan* align) {
+  const TopologyInfo info = topology.info();
+  std::uint64_t align_unit = 0;
+  // Only the contiguous uniform plans give an alignment worth honouring:
+  // their component c occupies exactly [c*size, (c+1)*size). A
+  // FixLastSymbolPlan's components interleave, so no contiguous cut could
+  // respect them — leave those cuts unaligned.
+  if (align != nullptr &&
+      (dynamic_cast<const PrefixBitsPlan*>(align) != nullptr ||
+       dynamic_cast<const TuplePrefixPlan*>(align) != nullptr)) {
+    align_unit = align->component_size();
+  }
+
+  ShardPlan plan(static_cast<std::size_t>(info.num_nodes), shards, align_unit);
+
+  // Closed-form halo: every shard owns an aligned power-of-two block of a
+  // hypercube address space, so the 1-hop boundary is exactly the b peer
+  // blocks reached by flipping one of the b prefix bits.
+  const bool uniform_pow2_blocks =
+      info.family == "hypercube" && std::has_single_bit(std::uint64_t{shards}) &&
+      shards <= info.num_nodes && info.num_nodes % shards == 0;
+  if (uniform_pow2_blocks) {
+    const std::uint64_t block = info.num_nodes / shards;
+    bool blocks_even = std::has_single_bit(block);
+    for (unsigned s = 0; blocks_even && s <= shards; ++s) {
+      blocks_even = plan.cuts_[s] == static_cast<Node>(s * block);
+    }
+    if (blocks_even) {
+      const unsigned b = static_cast<unsigned>(std::countr_zero(
+          std::uint64_t{shards}));
+      for (unsigned s = 0; s < shards; ++s) {
+        std::vector<unsigned> peers;
+        for (unsigned j = 0; j < b; ++j) peers.push_back(s ^ (1u << j));
+        std::sort(peers.begin(), peers.end());
+        for (unsigned peer : peers) {
+          plan.halo_[s].push_back({static_cast<Node>(peer * block),
+                                   static_cast<Node>((peer + 1) * block)});
+        }
+      }
+      plan.closed_form_ = true;
+      plan.finish_halo();
+      return plan;
+    }
+  }
+
+  // Generic halo: enumerate each owned node's adjacency through the
+  // implicit API and keep the out-of-range endpoints.
+  const ImplicitGraph view(topology);
+  for (unsigned s = 0; s < shards; ++s) {
+    const ShardRange owned = plan.owned(s);
+    std::vector<Node> outside;
+    for (Node u = owned.lo; u < owned.hi; ++u) {
+      for (Node v : view.neighbors(u)) {
+        if (!owned.contains(v)) outside.push_back(v);
+      }
+    }
+    plan.halo_[s] = coalesce(outside);
+  }
+  plan.finish_halo();
+  return plan;
+}
+
+void ShardPlan::finish_halo() {
+  for (unsigned s = 0; s < num_shards(); ++s) {
+    auto& prefix = halo_prefix_[s];
+    prefix.assign(1, 0);
+    for (const ShardRange& r : halo_[s]) {
+      prefix.push_back(prefix.back() + r.size());
+    }
+  }
+}
+
+std::int64_t ShardPlan::halo_slot(unsigned s, Node v) const noexcept {
+  const auto& ranges = halo_[s];
+  // First range starting beyond v, then check the one before it.
+  auto it = std::upper_bound(
+      ranges.begin(), ranges.end(), v,
+      [](Node value, const ShardRange& r) { return value < r.lo; });
+  if (it == ranges.begin()) return -1;
+  const std::size_t idx = static_cast<std::size_t>(it - ranges.begin()) - 1;
+  const ShardRange& r = ranges[idx];
+  if (v >= r.hi) return -1;
+  return static_cast<std::int64_t>(halo_prefix_[s][idx] + (v - r.lo));
+}
+
+}  // namespace mmdiag

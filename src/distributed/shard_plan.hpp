@@ -1,0 +1,137 @@
+// ShardPlan — contiguous owner ranges plus 1-hop halo rings.
+//
+// A sharded solve splits the node space [0, N) into S contiguous owner
+// ranges separated by cuts. Contiguity is the load-bearing choice: the
+// frontier bitmaps and membership bitsets of the solver are node-indexed,
+// so "the nodes shard s owns" is a word range, owner_of() is a binary
+// search over S+1 cuts, and per-shard outputs concatenated in shard order
+// are already in ascending node order — exactly the order the monolithic
+// Set_Builder produces.
+//
+// The halo of a shard is the set of non-owned nodes adjacent to an owned
+// node: the only remote nodes whose syndrome rows the shard can ever be
+// asked to read (see sharded_diagnoser.hpp for why). Two constructions:
+//
+//   - Closed form (hypercube, power-of-two shard count): an owner range is
+//     then an aligned block fixing the top b = log2(S) address bits, and
+//     flipping prefix bit j maps the whole block onto the block of shard
+//     s ^ (1 << j). The halo is exactly those b peer blocks — b·N/S nodes,
+//     no adjacency ever enumerated. The b/ n ratio is the isoperimetry of
+//     the cut: thin boundaries are what make sharding pay.
+//   - Generic: enumerate the adjacency of every owned node through the
+//     topology's implicit API, collect out-of-range neighbours, sort and
+//     coalesce into maximal ranges. O(owned · degree) per shard, used for
+//     non-hypercube families and non-power-of-two shard counts.
+//
+// Cuts align to the certified partition's component size when the
+// partition is contiguous and uniform (PrefixBitsPlan / TuplePrefixPlan),
+// so probe components rarely straddle a cut. Alignment is a locality
+// optimisation, never a correctness requirement: straddling components
+// (FixLastSymbolPlan, or more shards than components) run through the same
+// round-synchronous machinery.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/partition.hpp"
+#include "topology/topology.hpp"
+#include "util/types.hpp"
+
+namespace mmdiag {
+
+/// A contiguous node range [lo, hi).
+struct ShardRange {
+  Node lo = 0;
+  Node hi = 0;
+  [[nodiscard]] std::uint64_t size() const noexcept { return hi - lo; }
+  [[nodiscard]] bool contains(Node v) const noexcept {
+    return v >= lo && v < hi;
+  }
+};
+
+class ShardPlan {
+ public:
+  /// Owner indices are stored per node as one byte (see
+  /// ShardedDiagnoser::scan_shard_of_), so plans cap at 64 shards — the
+  /// same width as a cohort, and far past any core count this in-process
+  /// engine fans over.
+  static constexpr unsigned kMaxShards = 64;
+
+  /// Geometry-only plan: `shards` even contiguous cuts over num_nodes,
+  /// each interior cut rounded down to a multiple of align_unit (0 = no
+  /// alignment; alignment is skipped when it would force empty shards).
+  /// Halo rings are empty — use make() for a plan the sharded engine can
+  /// solve with. Degenerate inputs are legal: zero nodes yields S empty
+  /// ranges, and shards > num_nodes leaves the tail ranges empty.
+  ShardPlan(std::size_t num_nodes, unsigned shards,
+            std::uint64_t align_unit = 0);
+
+  /// Full plan over a topology: contiguous cuts (aligned to `align`'s
+  /// component size when that plan is contiguous and uniform) plus
+  /// per-shard 1-hop halo rings — closed form on hypercubes with
+  /// power-of-two shard counts, adjacency enumeration otherwise. Throws
+  /// std::invalid_argument for shards outside [1, kMaxShards].
+  static ShardPlan make(const Topology& topology, unsigned shards,
+                        const PartitionPlan* align = nullptr);
+
+  [[nodiscard]] unsigned num_shards() const noexcept {
+    return static_cast<unsigned>(cuts_.size() - 1);
+  }
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return static_cast<std::size_t>(cuts_.back());
+  }
+  [[nodiscard]] ShardRange owned(unsigned s) const noexcept {
+    return {cuts_[s], cuts_[s + 1]};
+  }
+
+  /// The shard whose owner range contains v (v < num_nodes()).
+  [[nodiscard]] unsigned owner_of(Node v) const noexcept {
+    // Binary search over the S+1 cuts; empty ranges never win because the
+    // first cut <= v with cuts_[s+1] > v identifies a non-empty range.
+    unsigned lo = 0;
+    unsigned hi = num_shards() - 1;
+    while (lo < hi) {
+      const unsigned mid = (lo + hi) / 2;
+      if (v < cuts_[mid + 1]) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  }
+
+  /// Shard s's halo as sorted, disjoint, maximal ranges.
+  [[nodiscard]] const std::vector<ShardRange>& halo(unsigned s) const noexcept {
+    return halo_[s];
+  }
+  /// Total nodes in shard s's halo.
+  [[nodiscard]] std::uint64_t halo_size(unsigned s) const noexcept {
+    return halo_prefix_[s].back();
+  }
+  [[nodiscard]] bool in_halo(unsigned s, Node v) const noexcept {
+    return halo_slot(s, v) >= 0;
+  }
+  /// Dense index of v within shard s's halo (for halo buffer addressing),
+  /// or -1 when v is not in the halo.
+  [[nodiscard]] std::int64_t halo_slot(unsigned s, Node v) const noexcept;
+
+  /// True when the halo came from the hypercube prefix arithmetic rather
+  /// than adjacency enumeration.
+  [[nodiscard]] bool closed_form_halo() const noexcept {
+    return closed_form_;
+  }
+
+ private:
+  ShardPlan() = default;
+  void finish_halo();
+
+  std::vector<Node> cuts_;  // size S+1; cuts_[0] = 0, cuts_[S] = N
+  std::vector<std::vector<ShardRange>> halo_;
+  // halo_prefix_[s][i] = nodes in halo_[s][0..i) — halo_slot's offsets.
+  std::vector<std::vector<std::uint64_t>> halo_prefix_;
+  bool closed_form_ = false;
+};
+
+}  // namespace mmdiag

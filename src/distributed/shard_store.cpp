@@ -1,0 +1,153 @@
+#include "distributed/shard_store.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace mmdiag {
+
+namespace {
+
+std::uint64_t ones(unsigned d) noexcept {
+  return d >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << d) - 1;
+}
+
+}  // namespace
+
+ShardRowStore::ShardRowStore(const ShardPlan& plan, unsigned shard,
+                             const ImplicitGraph& view,
+                             const Syndrome& syndrome)
+    : plan_(&plan),
+      shard_(shard),
+      view_(&view),
+      degree_(view.max_degree()),
+      syndrome_(&syndrome) {
+  const ShardRange owned = plan.owned(shard);
+  const std::uint64_t d = degree_;
+  owned_words_.resize(owned.size() * d);
+  for (Node u = owned.lo; u < owned.hi; ++u) {
+    const std::uint64_t base = (u - owned.lo) * d;
+    for (unsigned pivot = 0; pivot < d; ++pivot) {
+      owned_words_[base + pivot] = syndrome.row_bits(u, pivot);
+    }
+  }
+  // Eager halo exchange: pull every boundary node's row block across the
+  // cut once, before any solving starts.
+  halo_words_.resize(plan.halo_size(shard) * d);
+  std::uint64_t slot = 0;
+  for (const ShardRange& r : plan.halo(shard)) {
+    for (Node u = r.lo; u < r.hi; ++u, ++slot) {
+      const std::uint64_t base = slot * d;
+      for (unsigned pivot = 0; pivot < d; ++pivot) {
+        halo_words_[base + pivot] = syndrome.row_bits(u, pivot);
+      }
+    }
+  }
+}
+
+ShardRowStore::ShardRowStore(const ShardPlan& plan, unsigned shard,
+                             const ImplicitGraph& view, const FaultSet& faults,
+                             FaultyBehavior behavior, std::uint64_t seed)
+    : plan_(&plan),
+      shard_(shard),
+      view_(&view),
+      degree_(view.max_degree()),
+      faults_(&faults),
+      behavior_(behavior),
+      seed_(seed) {}
+
+std::uint64_t ShardRowStore::row_bits(Node u, unsigned pivot) const {
+  const ShardRange owned = plan_->owned(shard_);
+  if (owned.contains(u)) {
+    if (lazy()) return compute_row(u, pivot);
+    return owned_words_[(u - owned.lo) * std::uint64_t{degree_} + pivot];
+  }
+  if (lazy()) {
+    if (!plan_->in_halo(shard_, u)) {
+      throw std::logic_error(
+          "ShardRowStore: row " + std::to_string(u) +
+          " requested outside shard " + std::to_string(shard_) +
+          "'s owned range and halo ring");
+    }
+    return halo_block(u)[pivot];
+  }
+  const std::int64_t slot = plan_->halo_slot(shard_, u);
+  if (slot < 0) {
+    throw std::logic_error(
+        "ShardRowStore: row " + std::to_string(u) +
+        " requested outside shard " + std::to_string(shard_) +
+        "'s owned range and halo ring");
+  }
+  return halo_words_[static_cast<std::uint64_t>(slot) * degree_ + pivot];
+}
+
+std::uint64_t ShardRowStore::compute_row(Node u, unsigned pivot) const {
+  // Bit-for-bit the row generate_syndrome() stores: bit p = s_u(pivot, p)
+  // for p != pivot, the diagonal bit 0.
+  const auto adj = view_->neighbors(u);
+  const unsigned d = static_cast<unsigned>(adj.size());
+  const std::uint64_t pivot_bit = std::uint64_t{1} << pivot;
+  if (!faults_->is_faulty(u)) {
+    if (faults_->is_faulty(adj[pivot])) return ones(d) & ~pivot_bit;
+    std::uint64_t row = 0;
+    for (unsigned p = 0; p < d; ++p) {
+      row |= std::uint64_t{faults_->is_faulty(adj[p])} << p;
+    }
+    return row;  // bit pivot is already 0 (adj[pivot] is healthy here)
+  }
+  const Node vp = adj[pivot];
+  const bool fp = faults_->is_faulty(vp);
+  std::uint64_t row = 0;
+  for (unsigned p = 0; p < d; ++p) {
+    if (p == pivot) continue;
+    row |= std::uint64_t{faulty_test_result(behavior_, seed_, u, vp, adj[p],
+                                            fp, faults_->is_faulty(adj[p]))}
+           << p;
+  }
+  return row;
+}
+
+void ShardRowStore::compute_block(Node u, std::uint64_t* out) const {
+  const auto adj = view_->neighbors(u);
+  const unsigned d = static_cast<unsigned>(adj.size());
+  if (!faults_->is_faulty(u)) {
+    std::uint64_t mask = 0;
+    for (unsigned p = 0; p < d; ++p) {
+      mask |= std::uint64_t{faults_->is_faulty(adj[p])} << p;
+    }
+    const std::uint64_t all = ones(d);
+    for (unsigned pivot = 0; pivot < d; ++pivot) {
+      const std::uint64_t pivot_bit = std::uint64_t{1} << pivot;
+      out[pivot] = ((mask & pivot_bit) != 0 ? all : mask) & ~pivot_bit;
+    }
+    return;
+  }
+  for (unsigned pivot = 0; pivot < d; ++pivot) {
+    out[pivot] = compute_row(u, pivot);
+  }
+}
+
+const std::uint64_t* ShardRowStore::halo_block(Node u) const {
+  const auto [it, inserted] = halo_page_.try_emplace(
+      u, static_cast<std::uint32_t>(halo_page_.size()));
+  const std::uint64_t base = std::uint64_t{it->second} * degree_;
+  if (inserted) {
+    // First touch of this boundary node: fetch its whole d-pivot block —
+    // the demand-paged unit of the halo exchange. Never evicted, so a
+    // block crosses the boundary at most once.
+    halo_pool_.resize(halo_pool_.size() + degree_);
+    compute_block(u, halo_pool_.data() + base);
+  }
+  return halo_pool_.data() + base;
+}
+
+std::uint64_t ShardRowStore::memory_bytes() const noexcept {
+  const std::uint64_t words =
+      owned_words_.size() + halo_words_.size() + halo_pool_.size();
+  // Unordered-map nodes cost roughly a key, a value, padding and a next
+  // pointer plus the bucket array — a reporting estimate, not an ABI fact.
+  const std::uint64_t page_index =
+      halo_page_.size() * 24 + halo_page_.bucket_count() * 8;
+  return words * sizeof(std::uint64_t) + page_index;
+}
+
+}  // namespace mmdiag

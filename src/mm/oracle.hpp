@@ -7,6 +7,7 @@
 // demand in the machine).
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <bit>
 #include <cassert>
@@ -14,6 +15,7 @@
 #include <cstdint>
 #include <memory>
 #include <type_traits>
+#include <vector>
 
 #include "graph/graph.hpp"
 #include "mm/behavior.hpp"
@@ -97,6 +99,13 @@ class TableOracle final : public SyndromeOracle {
   [[nodiscard]] std::uint64_t row_bits_at(
       Syndrome::RowLocation loc) const noexcept {
     return syndrome_->row_bits_at(loc);
+  }
+
+  /// The backing table, for consumers that re-partition the same
+  /// materialised rows under their own accounting (the sharded engine's
+  /// per-shard row stores copy owned and halo rows out of it).
+  [[nodiscard]] const Syndrome& syndrome() const noexcept {
+    return *syndrome_;
   }
 
  protected:
@@ -219,9 +228,24 @@ concept WordRowOracle = StaticOracle<O> &&
 ///
 /// Single-threaded by design (one cohort per worker lane): the transpose
 /// scratch and counters are unsynchronised, like every oracle's counter.
+///
+/// Transposed blocks persist in a per-cohort cache (direct-mapped,
+/// kCacheSlots blocks) for the oracle's lifetime — one diagnose_cohort,
+/// probes and final runs included. The final unrestricted run re-reads
+/// rows the probe phase already flipped (the certified seed's round-1
+/// rows at minimum; every shared (node, pivot) when the rules coincide),
+/// and a cache hit serves the stored block instead of re-gathering and
+/// re-transposing. The cache changes which words are *touched*, never
+/// their content — rows are immutable for the cohort's lifetime — so lane
+/// results and per-pair charges are bit-identical with it on
+/// (tests/dispatch_equiv_test.cpp asserts results, look-ups and hits > 0).
 class BitSlicedOracle {
  public:
   static constexpr unsigned kMaxLanes = 64;
+  /// Direct-mapped transpose-cache slots (blocks of 64 words, ~1 MiB
+  /// resident once touched). Collisions overwrite — the cache is a reuse
+  /// accelerator, never a correctness surface.
+  static constexpr std::size_t kCacheSlots = 2048;
 
   explicit BitSlicedOracle(const Graph& g) : graph_(&g) {
     assert(g.max_degree() <= 64 &&
@@ -233,6 +257,11 @@ class BitSlicedOracle {
   unsigned add_lane(const TableOracle& lane) {
     assert(width_ < kMaxLanes && "BitSlicedOracle: cohort wider than 64");
     lanes_[width_] = &lane;
+    // A cached block encodes the cohort width it was built at (unused lanes
+    // zero-filled), so widening the cohort invalidates everything.
+    if (!cache_tags_.empty()) {
+      std::fill(cache_tags_.begin(), cache_tags_.end(), kEmptyTag);
+    }
     return width_++;
   }
 
@@ -251,15 +280,42 @@ class BitSlicedOracle {
   /// The cohort's s_u(pivot, ·) rows flipped lane-major: word p of the
   /// returned array has bit L = lane L's s_u(pivot, p); only words
   /// p < degree(u) are meaningful. Uncounted, like row_bits — callers
-  /// charge() exactly the pairs they consult. The pointer targets internal
-  /// scratch and is invalidated by the next transposed_row() or
-  /// gather_rows() call.
+  /// charge() exactly the pairs they consult. The pointer targets the
+  /// persistent row cache and stays valid until add_lane() or a colliding
+  /// (u, pivot) overwrites the slot; treat it as single-use, like scratch.
   [[nodiscard]] const std::uint64_t* transposed_row(Node u,
                                                     unsigned pivot) const {
+    const std::uint64_t key = cache_key(u, pivot);
+    std::uint64_t* block = cache_block(key);
+    if (cache_tags_[cache_slot(key)] == key) {
+      ++cache_hits_;
+      return block;
+    }
     gather_rows(u, pivot);
     for (unsigned i = width_; i < kMaxLanes; ++i) scratch_[i] = 0;
     transpose64(scratch_.data());
-    return scratch_.data();
+    std::copy(scratch_.begin(), scratch_.end(), block);
+    cache_tags_[cache_slot(key)] = key;
+    return block;
+  }
+
+  /// The cached transposed block for (u, pivot), or nullptr when the cache
+  /// has no current entry for it. Lets the gather/column fast path (reads
+  /// of < 3 columns) still reuse a block a full transpose already paid
+  /// for, without paying one itself on a miss.
+  [[nodiscard]] const std::uint64_t* cached_row(Node u, unsigned pivot) const {
+    if (cache_tags_.empty()) return nullptr;
+    const std::uint64_t key = cache_key(u, pivot);
+    if (cache_tags_[cache_slot(key)] != key) return nullptr;
+    ++cache_hits_;
+    return cache_blocks_.data() + cache_slot(key) * kMaxLanes;
+  }
+
+  /// Transposed blocks served from the cache since construction. Not an
+  /// accounting counter — reset_accounting() leaves it alone (the cache
+  /// survives across probes precisely so the final run hits it).
+  [[nodiscard]] std::uint64_t row_cache_hits() const noexcept {
+    return cache_hits_;
   }
 
   /// Gathers each lane's packed s_u(pivot, ·) row into internal scratch
@@ -338,12 +394,35 @@ class BitSlicedOracle {
     }
   }
 
+  // (u, pivot) packs into one word because pivot < 64; the tag is the key
+  // itself, and kEmptyTag is unreachable (u < 2^32 keeps bit 63 clear).
+  static constexpr std::uint64_t kEmptyTag = ~std::uint64_t{0};
+  static std::uint64_t cache_key(Node u, unsigned pivot) noexcept {
+    return (std::uint64_t{u} << 6) | pivot;
+  }
+  static std::size_t cache_slot(std::uint64_t key) noexcept {
+    static_assert(kCacheSlots == std::size_t{1} << 11);
+    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >> (64 - 11));
+  }
+  std::uint64_t* cache_block(std::uint64_t key) const {
+    if (cache_tags_.empty()) {
+      // Lazily sized on first use: a cohort that never transposes (scalar
+      // fallback paths) never pays the ~1 MiB.
+      cache_tags_.assign(kCacheSlots, kEmptyTag);
+      cache_blocks_.resize(kCacheSlots * kMaxLanes);
+    }
+    return cache_blocks_.data() + cache_slot(key) * kMaxLanes;
+  }
+
   const Graph* graph_;
   unsigned width_ = 0;
   std::array<const TableOracle*, kMaxLanes> lanes_{};
   mutable std::array<std::uint64_t, kMaxLanes> scratch_{};
   mutable std::array<std::uint64_t, kMaxLanes> served_{};
   mutable std::array<std::uint64_t, kPlanes> planes_{};
+  mutable std::vector<std::uint64_t> cache_tags_;
+  mutable std::vector<std::uint64_t> cache_blocks_;  // slot * kMaxLanes words
+  mutable std::uint64_t cache_hits_ = 0;
 };
 
 }  // namespace mmdiag

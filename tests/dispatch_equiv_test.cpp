@@ -425,6 +425,56 @@ TEST(DispatchEquivalence, ImplicitDiagnoserRejectsCsrOnlyPaths) {
   EXPECT_THROW((void)diagnoser.diagnose_cohort(lanes), std::logic_error);
 }
 
+// The persistent transposed-row cache: a repeated (u, pivot) transpose must
+// serve the stored block (hits counted, contents bit-identical to a fresh
+// gather+transpose), cached_row must answer only for current entries, the
+// cache must survive reset_accounting (that is the probe→final reuse), and
+// widening the cohort must invalidate it. Result/look-up identity with the
+// cache active is asserted by every cohort test above — the cache changes
+// which words are touched, never their content.
+TEST(DispatchEquivalence, TransposedRowCacheServesIdenticalBlocks) {
+  test::Instance inst("hypercube 6");
+  const std::vector<Syndrome> syndromes =
+      make_cohort_syndromes(inst.graph, 4, 9);
+  std::vector<TableOracle> oracles;
+  for (const Syndrome& s : syndromes) oracles.emplace_back(inst.graph, s);
+
+  BitSlicedOracle sliced(inst.graph);
+  for (std::size_t lane = 0; lane + 1 < oracles.size(); ++lane) {
+    sliced.add_lane(oracles[lane]);
+  }
+  const unsigned width = sliced.width();
+  const Node u = 3;
+  const unsigned pivot = 1;
+
+  EXPECT_EQ(sliced.cached_row(u, pivot), nullptr) << "cold cache";
+  const std::uint64_t* first = sliced.transposed_row(u, pivot);
+  EXPECT_EQ(sliced.row_cache_hits(), 0u) << "first transpose is a miss";
+  std::vector<std::uint64_t> snapshot(first, first + BitSlicedOracle::kMaxLanes);
+  for (unsigned p = 0; p < inst.graph.degree(u); ++p) {
+    for (unsigned lane = 0; lane < width; ++lane) {
+      EXPECT_EQ((snapshot[p] >> lane) & 1,
+                (oracles[lane].row_bits(u, pivot) >> p) & 1)
+          << "p=" << p << " lane=" << lane;
+    }
+  }
+
+  const std::uint64_t* again = sliced.transposed_row(u, pivot);
+  EXPECT_EQ(sliced.row_cache_hits(), 1u);
+  EXPECT_TRUE(std::equal(snapshot.begin(), snapshot.end(), again));
+
+  sliced.reset_accounting();  // probes reset charges; rows must survive
+  const std::uint64_t* cached = sliced.cached_row(u, pivot);
+  ASSERT_NE(cached, nullptr);
+  EXPECT_EQ(sliced.row_cache_hits(), 2u);
+  EXPECT_TRUE(std::equal(snapshot.begin(), snapshot.end(), cached));
+  EXPECT_EQ(sliced.cached_row(u, pivot + 1), nullptr) << "different pivot";
+
+  // Widening the cohort changes what a block means: everything invalidates.
+  sliced.add_lane(oracles.back());
+  EXPECT_EQ(sliced.cached_row(u, pivot), nullptr) << "stale after add_lane";
+}
+
 // The word-row view must agree with the per-pair view bit for bit, and the
 // mirror table must agree with the binary search it replaces.
 TEST(DispatchEquivalence, WordRowsAndMirrorPositionsMatchScalarQueries) {

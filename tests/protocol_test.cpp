@@ -33,6 +33,7 @@ class FloodProgram final : public NodeProgram {
   [[nodiscard]] bool all_seen() const {
     return std::all_of(seen_.begin(), seen_.end(), [](bool b) { return b; });
   }
+  [[nodiscard]] bool seen(Node v) const { return seen_[v]; }
 
  private:
   std::vector<bool> seen_;
@@ -78,6 +79,45 @@ TEST(SyncNetwork, RoundLimitGuard) {
   SyncNetwork net(g, oracle, program);
   net.wake(0);
   EXPECT_THROW((void)net.run_to_quiescence(50), std::runtime_error);
+}
+
+TEST(SyncNetwork, MessagesNeverCrossDisconnectedComponents) {
+  // Two disjoint triangles. A flood woken in the first must round-trip
+  // freely inside it and never reach the second — there is no link to
+  // carry a message across, and the simulator must not invent one.
+  const Graph g = build_graph_from_edges(
+      6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}});
+  const FaultFreeOracle oracle(g);
+  FloodProgram program(6);
+  SyncNetwork net(g, oracle, program);
+  net.wake(0);
+  (void)net.run_to_quiescence();
+  for (Node v = 0; v < 3; ++v) EXPECT_TRUE(program.seen(v)) << v;
+  for (Node v = 3; v < 6; ++v) EXPECT_FALSE(program.seen(v)) << v;
+  // Origin sends 2, each other triangle member forwards to 2 neighbours.
+  EXPECT_EQ(net.total_messages(), 6u);
+
+  // Waking the second component floods it too, without re-activating the
+  // first (its nodes forward only on first contact).
+  const std::uint64_t before = net.total_messages();
+  net.wake(3);
+  (void)net.run_to_quiescence();
+  for (Node v = 0; v < 6; ++v) EXPECT_TRUE(program.seen(v)) << v;
+  EXPECT_EQ(net.total_messages(), before + 6u);
+}
+
+TEST(SyncNetwork, ZeroNodeNetworkIsImmediatelyQuiescent) {
+  const Graph g = build_graph_from_edges(0, {});
+  const FaultFreeOracle oracle(g);
+  class Never final : public NodeProgram {
+    void on_round(NetContext&, std::span<const Message>) override {
+      FAIL() << "a node ran on an empty network";
+    }
+  } program;
+  SyncNetwork net(g, oracle, program);
+  EXPECT_EQ(net.run_to_quiescence(), 0u);
+  EXPECT_EQ(net.total_messages(), 0u);
+  EXPECT_EQ(net.total_rounds(), 0u);
 }
 
 // ---- Full protocol --------------------------------------------------------

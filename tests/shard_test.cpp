@@ -1,0 +1,443 @@
+// Sharded owner/halo engine suite: ShardPlan geometry and halo rings,
+// ShardRowStore row fidelity and access policing, and the tentpole
+// contract — ShardedDiagnoser results bit-identical to the monolithic
+// Diagnoser (faults, failure strings, probes, rounds, members AND counted
+// look-ups) across families, shard counts, deferred rules and both row
+// modes (table copy and lazy demand-paged halo).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/certified_partition.hpp"
+#include "core/diagnoser.hpp"
+#include "distributed/shard_plan.hpp"
+#include "distributed/shard_store.hpp"
+#include "distributed/sharded_diagnoser.hpp"
+#include "engine/engine.hpp"
+#include "graph/implicit_graph.hpp"
+#include "mm/behavior.hpp"
+#include "mm/fault_set.hpp"
+#include "mm/injector.hpp"
+#include "mm/oracle.hpp"
+#include "mm/syndrome.hpp"
+#include "test_util.hpp"
+#include "topology/registry.hpp"
+#include "util/rng.hpp"
+
+namespace mmdiag {
+namespace {
+
+void expect_bit_identical(const DiagnosisResult& expected,
+                          const DiagnosisResult& actual,
+                          const std::string& what) {
+  ASSERT_EQ(expected.success, actual.success) << what;
+  EXPECT_EQ(expected.faults, actual.faults) << what;
+  EXPECT_EQ(expected.failure_reason, actual.failure_reason) << what;
+  EXPECT_EQ(expected.lookups, actual.lookups) << what;
+  EXPECT_EQ(expected.probes, actual.probes) << what;
+  EXPECT_EQ(expected.certified_component, actual.certified_component) << what;
+  EXPECT_EQ(expected.final_members, actual.final_members) << what;
+  EXPECT_EQ(expected.final_rounds, actual.final_rounds) << what;
+}
+
+/// The boundary set a shard's halo must equal: every non-owned node
+/// adjacent to an owned node, computed straight from the definition.
+std::set<Node> boundary_of(const Graph& graph, ShardRange owned) {
+  std::set<Node> out;
+  for (Node u = owned.lo; u < owned.hi; ++u) {
+    for (const Node v : graph.neighbors(u)) {
+      if (!owned.contains(v)) out.insert(v);
+    }
+  }
+  return out;
+}
+
+std::set<Node> halo_as_set(const ShardPlan& plan, unsigned s) {
+  std::set<Node> out;
+  for (const ShardRange& r : plan.halo(s)) {
+    for (Node v = r.lo; v < r.hi; ++v) out.insert(v);
+  }
+  return out;
+}
+
+// ---- ShardPlan geometry ----------------------------------------------------
+
+TEST(ShardPlan, GeometryCutsPartitionTheNodeSpace) {
+  for (const std::size_t n : {std::size_t{0}, std::size_t{5},
+                              std::size_t{64}, std::size_t{1000}}) {
+    for (const unsigned shards : {1u, 2u, 7u, 64u}) {
+      const ShardPlan plan(n, shards);
+      ASSERT_EQ(plan.num_shards(), shards);
+      ASSERT_EQ(plan.num_nodes(), n);
+      std::uint64_t total = 0;
+      for (unsigned s = 0; s < shards; ++s) {
+        const ShardRange r = plan.owned(s);
+        EXPECT_LE(r.lo, r.hi);
+        total += r.size();
+        EXPECT_EQ(plan.halo_size(s), 0u);  // geometry-only: no halo
+      }
+      EXPECT_EQ(total, n);
+      for (Node v = 0; v < n; ++v) {
+        EXPECT_TRUE(plan.owned(plan.owner_of(v)).contains(v))
+            << "n=" << n << " S=" << shards << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(ShardPlan, MoreShardsThanNodesLeavesEmptyTailRanges) {
+  const ShardPlan plan(5, 7);
+  std::uint64_t total = 0;
+  for (unsigned s = 0; s < 7; ++s) total += plan.owned(s).size();
+  EXPECT_EQ(total, 5u);
+  for (Node v = 0; v < 5; ++v) {
+    EXPECT_TRUE(plan.owned(plan.owner_of(v)).contains(v));
+  }
+}
+
+TEST(ShardPlan, RejectsShardCountsOutsideOneToSixtyFour) {
+  const auto topo = make_topology_from_spec("hypercube 5");
+  EXPECT_THROW((void)ShardPlan::make(*topo, 0), std::invalid_argument);
+  EXPECT_THROW((void)ShardPlan::make(*topo, 65), std::invalid_argument);
+  EXPECT_THROW(ShardPlan(10, 0), std::invalid_argument);
+}
+
+TEST(ShardPlan, ClosedFormHypercubeHaloEqualsEnumeratedBoundary) {
+  test::Instance inst("hypercube 8");
+  for (const unsigned shards : {1u, 2u, 4u, 8u}) {
+    const ShardPlan plan = ShardPlan::make(*inst.topo, shards);
+    EXPECT_TRUE(plan.closed_form_halo()) << "S=" << shards;
+    for (unsigned s = 0; s < shards; ++s) {
+      EXPECT_EQ(halo_as_set(plan, s), boundary_of(inst.graph, plan.owned(s)))
+          << "S=" << shards << " shard " << s;
+    }
+  }
+}
+
+TEST(ShardPlan, GenericHaloEqualsEnumeratedBoundary) {
+  // star 6 has no closed-form cut; 7 shards on a hypercube is not a
+  // power of two — both must fall back to adjacency enumeration and still
+  // produce exactly the 1-hop boundary.
+  for (const char* spec : {"star 6", "hypercube 8"}) {
+    test::Instance inst(spec);
+    const ShardPlan plan = ShardPlan::make(*inst.topo, 7);
+    EXPECT_FALSE(plan.closed_form_halo()) << spec;
+    for (unsigned s = 0; s < 7; ++s) {
+      EXPECT_EQ(halo_as_set(plan, s), boundary_of(inst.graph, plan.owned(s)))
+          << spec << " shard " << s;
+    }
+  }
+}
+
+TEST(ShardPlan, HaloSlotsAreDenseAndMissesReturnMinusOne) {
+  test::Instance inst("kary_ncube 3 4");
+  const ShardPlan plan = ShardPlan::make(*inst.topo, 5);
+  for (unsigned s = 0; s < 5; ++s) {
+    std::int64_t expected_slot = 0;
+    for (const ShardRange& r : plan.halo(s)) {
+      for (Node v = r.lo; v < r.hi; ++v) {
+        EXPECT_TRUE(plan.in_halo(s, v));
+        EXPECT_EQ(plan.halo_slot(s, v), expected_slot++);
+      }
+    }
+    EXPECT_EQ(static_cast<std::uint64_t>(expected_slot), plan.halo_size(s));
+    const ShardRange owned = plan.owned(s);
+    for (Node v = owned.lo; v < owned.hi; ++v) {
+      EXPECT_EQ(plan.halo_slot(s, v), -1) << "owned node in own halo";
+    }
+  }
+}
+
+// ---- ShardRowStore ---------------------------------------------------------
+
+TEST(ShardRowStore, BothModesServeSyndromeRowsBitForBit) {
+  test::Instance inst("hypercube 6");
+  const std::size_t n = inst.graph.num_nodes();
+  const ImplicitGraph view(*inst.topo);
+  Rng rng(0x5702E);
+  const FaultSet faults(n, inject_uniform(n, 4, rng));
+  const Syndrome syndrome =
+      generate_syndrome(inst.graph, faults, FaultyBehavior::kRandom, 11);
+  const ShardPlan plan = ShardPlan::make(*inst.topo, 4);
+  for (unsigned s = 0; s < 4; ++s) {
+    const ShardRowStore table(plan, s, view, syndrome);
+    const ShardRowStore lazy(plan, s, view, faults, FaultyBehavior::kRandom,
+                             11);
+    EXPECT_FALSE(table.lazy());
+    EXPECT_TRUE(lazy.lazy());
+    auto check = [&](Node u) {
+      for (unsigned pivot = 0; pivot < inst.graph.degree(u); ++pivot) {
+        const std::uint64_t want = syndrome.row_bits(u, pivot);
+        EXPECT_EQ(table.row_bits(u, pivot), want)
+            << "table s=" << s << " u=" << u << " pivot=" << pivot;
+        EXPECT_EQ(lazy.row_bits(u, pivot), want)
+            << "lazy s=" << s << " u=" << u << " pivot=" << pivot;
+      }
+    };
+    const ShardRange owned = plan.owned(s);
+    for (Node u = owned.lo; u < owned.hi; ++u) check(u);
+    for (const ShardRange& r : plan.halo(s)) {
+      for (Node u = r.lo; u < r.hi; ++u) check(u);
+    }
+    // Table mode exchanged the whole halo eagerly; lazy paged every halo
+    // node exactly once (check() touched each).
+    EXPECT_EQ(table.halo_blocks_exchanged(), plan.halo_size(s));
+    EXPECT_EQ(lazy.halo_blocks_exchanged(), plan.halo_size(s));
+    EXPECT_GT(table.memory_bytes(), 0u);
+  }
+}
+
+TEST(ShardRowStore, ThrowsOutsideOwnedAndHalo) {
+  // Q_8 under S=8: shard 0's halo is the blocks of peer shards 1, 2 and 4.
+  // Block 7 is none of them, so any of its rows is out of bounds.
+  test::Instance inst("hypercube 8");
+  const ImplicitGraph view(*inst.topo);
+  const ShardPlan plan = ShardPlan::make(*inst.topo, 8);
+  const Node outside = plan.owned(7).lo;
+  ASSERT_FALSE(plan.in_halo(0, outside));
+  const FaultSet faults(inst.graph.num_nodes(), {});
+  const Syndrome syndrome =
+      generate_syndrome(inst.graph, faults, FaultyBehavior::kRandom, 1);
+  const ShardRowStore table(plan, 0, view, syndrome);
+  const ShardRowStore lazy(plan, 0, view, faults, FaultyBehavior::kRandom, 1);
+  EXPECT_THROW((void)table.row_bits(outside, 0), std::logic_error);
+  EXPECT_THROW((void)lazy.row_bits(outside, 0), std::logic_error);
+}
+
+// ---- ShardedDiagnoser bit-identity -----------------------------------------
+
+struct FamilyCase {
+  const char* spec;
+  unsigned delta;
+};
+
+constexpr FamilyCase kShardFamilies[] = {
+    {"hypercube 8", 4},
+    {"kary_ncube 3 4", 3},
+    {"star 6", 4},
+};
+
+constexpr ParentRule kDeferredRules[] = {
+    ParentRule::kSpread, ParentRule::kLeastSync, ParentRule::kHashSpread};
+
+/// Monolithic expectation vs sharded actuals (table and lazy row modes),
+/// over every deferred final rule and the given shard count.
+void check_family_at_shards(const std::string& spec, unsigned delta,
+                            unsigned shards) {
+  const std::shared_ptr<const Topology> topo = make_topology_from_spec(spec);
+  const Graph graph = topo->build_graph();
+  const std::size_t n = graph.num_nodes();
+  const CertifiedPartition partition =
+      find_certified_partition(*topo, graph, delta, ParentRule::kSpread);
+
+  for (const ParentRule final_rule : kDeferredRules) {
+    DiagnoserOptions options;
+    options.final_rule = final_rule;
+    Diagnoser mono(graph, partition, options);
+
+    ShardedOptions sharded_options;
+    sharded_options.shards = shards;
+    sharded_options.threads = 2;
+    sharded_options.diagnoser = options;
+    ShardedDiagnoser sharded(topo, partition, sharded_options);
+    ASSERT_EQ(sharded.plan().num_shards(), shards);
+
+    for (const std::size_t num_faults :
+         {std::size_t{0}, std::size_t{1}, std::size_t{delta}}) {
+      for (const FaultyBehavior behavior :
+           {FaultyBehavior::kRandom, FaultyBehavior::kAntiDiagnostic}) {
+        Rng rng(0x5AA7D ^ (num_faults * 977) ^
+                static_cast<unsigned>(final_rule));
+        const FaultSet faults(n, inject_uniform(n, num_faults, rng));
+        const std::string what = spec + "/S=" + std::to_string(shards) +
+                                 "/" + to_string(final_rule) + "/faults=" +
+                                 std::to_string(num_faults) + "/" +
+                                 to_string(behavior);
+
+        const Syndrome syndrome =
+            generate_syndrome(graph, faults, behavior, /*seed=*/42);
+        const TableOracle oracle(graph, syndrome);
+        const DiagnosisResult expected = mono.diagnose(oracle);
+
+        expect_bit_identical(expected, sharded.diagnose(syndrome),
+                             what + "/table");
+        EXPECT_EQ(sharded.last_stats().shards, shards);
+        expect_bit_identical(expected,
+                             sharded.diagnose(faults, behavior, /*seed=*/42),
+                             what + "/lazy");
+      }
+    }
+  }
+}
+
+TEST(ShardedDiagnoser, BitIdenticalAtOneShard) {
+  for (const FamilyCase& family : kShardFamilies) {
+    SCOPED_TRACE(family.spec);
+    check_family_at_shards(family.spec, family.delta, 1);
+  }
+}
+
+TEST(ShardedDiagnoser, BitIdenticalAtTwoShards) {
+  for (const FamilyCase& family : kShardFamilies) {
+    SCOPED_TRACE(family.spec);
+    check_family_at_shards(family.spec, family.delta, 2);
+  }
+}
+
+TEST(ShardedDiagnoser, BitIdenticalAtSevenShards) {
+  for (const FamilyCase& family : kShardFamilies) {
+    SCOPED_TRACE(family.spec);
+    check_family_at_shards(family.spec, family.delta, 7);
+  }
+}
+
+TEST(ShardedDiagnoser, BitIdenticalWithMoreShardsThanComponents) {
+  for (const FamilyCase& family : kShardFamilies) {
+    SCOPED_TRACE(family.spec);
+    const std::shared_ptr<const Topology> topo =
+        make_topology_from_spec(family.spec);
+    const Graph graph = topo->build_graph();
+    const CertifiedPartition partition = find_certified_partition(
+        *topo, graph, family.delta, ParentRule::kSpread);
+    const unsigned shards = static_cast<unsigned>(std::min<std::size_t>(
+        ShardPlan::kMaxShards, partition.plan->num_components() + 3));
+    check_family_at_shards(family.spec, family.delta, shards);
+  }
+}
+
+TEST(ShardedDiagnoser, ClosedFormHaloEngagesOnHypercubePowerOfTwo) {
+  const std::shared_ptr<const Topology> topo =
+      make_topology_from_spec("hypercube 8");
+  const Graph graph = topo->build_graph();
+  const CertifiedPartition partition =
+      find_certified_partition(*topo, graph, 4, ParentRule::kSpread);
+  ShardedOptions options;
+  options.shards = 4;
+  options.diagnoser.final_rule = ParentRule::kSpread;
+  ShardedDiagnoser sharded(topo, partition, options);
+  EXPECT_TRUE(sharded.plan().closed_form_halo());
+  const DiagnosisResult r =
+      sharded.diagnose(FaultSet(graph.num_nodes(), {}),
+                       FaultyBehavior::kRandom, 3);
+  EXPECT_TRUE(r.success);
+  EXPECT_TRUE(sharded.last_stats().closed_form_halo);
+  EXPECT_GT(sharded.last_stats().max_store_bytes, 0u);
+}
+
+TEST(ShardedDiagnoser, RejectsUnshardableOptions) {
+  const std::shared_ptr<const Topology> topo =
+      make_topology_from_spec("hypercube 6");
+  const Graph graph = topo->build_graph();
+  const CertifiedPartition partition =
+      find_certified_partition(*topo, graph, 4, ParentRule::kSpread);
+
+  {
+    // kLeastFirst admits mid-scan: order-serial, never shardable.
+    ShardedOptions options;
+    options.diagnoser.final_rule = ParentRule::kLeastFirst;
+    EXPECT_THROW(ShardedDiagnoser(topo, partition, options),
+                 std::invalid_argument);
+  }
+  {
+    // Probe rule must match the partition's calibration rule.
+    ShardedOptions options;
+    options.diagnoser.rule = ParentRule::kLeastSync;
+    EXPECT_THROW(ShardedDiagnoser(topo, partition, options),
+                 std::invalid_argument);
+  }
+  {
+    // An explicit delta must agree with the certified bound.
+    ShardedOptions options;
+    options.diagnoser.delta = partition.delta + 1;
+    EXPECT_THROW(ShardedDiagnoser(topo, partition, options),
+                 std::invalid_argument);
+  }
+  EXPECT_THROW(ShardedDiagnoser(nullptr, partition, ShardedOptions{}),
+               std::invalid_argument);
+}
+
+// ---- Engine routing --------------------------------------------------------
+
+TEST(ShardedDiagnoser, EngineRoutedShardsMatchMonolithicEngine) {
+  const std::string spec = "hypercube 8";
+  EngineOptions mono_options;
+  mono_options.diagnoser.delta = 4;
+  mono_options.diagnoser.final_rule = ParentRule::kSpread;
+  DiagnosisEngine mono_engine(mono_options);
+
+  EngineOptions sharded_options = mono_options;
+  sharded_options.shards = 4;
+  sharded_options.threads = 2;
+  DiagnosisEngine sharded_engine(sharded_options);
+
+  const std::shared_ptr<const Calibration> cal = mono_engine.calibration(spec);
+  const std::size_t n = cal->graph.num_nodes();
+  for (const std::size_t num_faults : {std::size_t{0}, std::size_t{4}}) {
+    Rng rng(0xE2917 + num_faults);
+    const FaultSet faults(n, inject_uniform(n, num_faults, rng));
+    const Syndrome syndrome =
+        generate_syndrome(cal->graph, faults, FaultyBehavior::kRandom, 9);
+    const TableOracle mono_oracle(cal->graph, syndrome);
+    const TableOracle sharded_oracle(cal->graph, syndrome);
+    const DiagnosisResult expected = mono_engine.diagnose(spec, mono_oracle);
+    const DiagnosisResult actual =
+        sharded_engine.diagnose(spec, sharded_oracle);
+    expect_bit_identical(expected, actual,
+                         "engine/faults=" + std::to_string(num_faults));
+  }
+
+  // A non-table oracle cannot be re-partitioned: the engine silently stays
+  // monolithic rather than failing the request.
+  Rng rng(1);
+  const FaultSet faults(n, inject_uniform(n, 2, rng));
+  const LazyOracle lazy_mono(cal->graph, faults, FaultyBehavior::kRandom, 5);
+  const LazyOracle lazy_sharded(cal->graph, faults, FaultyBehavior::kRandom,
+                                5);
+  expect_bit_identical(mono_engine.diagnose(spec, lazy_mono),
+                       sharded_engine.diagnose(spec, lazy_sharded),
+                       "engine/lazy-fallback");
+}
+
+TEST(ShardedDiagnoser, EngineAutoModeStaysMonolithicBelowThreshold) {
+  // shards = 0 is the auto policy; hypercube 6 is far below the node
+  // threshold, so the request must route monolithically and still succeed.
+  EngineOptions options;
+  options.shards = 0;
+  options.diagnoser.delta = 4;
+  DiagnosisEngine engine(options);
+  const std::shared_ptr<const Calibration> cal =
+      engine.calibration("hypercube 6");
+  const std::size_t n = cal->graph.num_nodes();
+  Rng rng(7);
+  const FaultSet faults(n, inject_uniform(n, 3, rng));
+  const Syndrome syndrome =
+      generate_syndrome(cal->graph, faults, FaultyBehavior::kRandom, 2);
+  const TableOracle oracle(cal->graph, syndrome);
+  const DiagnosisResult result = engine.diagnose("hypercube 6", oracle);
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(test::sorted(result.faults), faults.nodes());
+}
+
+TEST(ShardedDiagnoser, EngineExplicitShardsPropagateOptionErrors) {
+  // Explicit sharding with the (default) kLeastFirst final rule is an
+  // option error, and the engine must surface it, not mask it.
+  EngineOptions options;
+  options.shards = 2;
+  options.diagnoser.delta = 4;
+  DiagnosisEngine engine(options);
+  const std::shared_ptr<const Calibration> cal =
+      engine.calibration("hypercube 6");
+  const Syndrome syndrome =
+      generate_syndrome(cal->graph, FaultSet(cal->graph.num_nodes(), {}),
+                        FaultyBehavior::kRandom, 1);
+  const TableOracle oracle(cal->graph, syndrome);
+  EXPECT_THROW((void)engine.diagnose("hypercube 6", oracle),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mmdiag
