@@ -53,6 +53,17 @@
 //       minimized and written as replayable .repro files. --replay
 //       re-executes one repro file.
 //
+//   mmdiag_cli churn --stream FILE [--table-oracle]
+//       Replay a churn stream (remove/repair/diagnose interleavings, see
+//       src/churn/churn_stream.hpp for the format) through the churn
+//       harness: every warm incremental answer is differentially checked
+//       against cold full recalibration; divergences exit 1.
+//
+//   mmdiag_cli churn <spec...> [--events N] [--seed S] [--delta D]
+//              [--out FILE]
+//       Deterministically generate a hostile churn stream for the spec and
+//       write it to FILE (stdout when omitted).
+//
 // Exit status: 0 on success, 1 on diagnosis failure / fuzz divergence,
 // 2 on usage errors.
 #include <algorithm>
@@ -65,6 +76,8 @@
 #include <string>
 #include <vector>
 
+#include "churn/churn_stream.hpp"
+#include "churn/harness.hpp"
 #include "core/batch_diagnoser.hpp"
 #include "core/certified_partition.hpp"
 #include "core/diagnoser.hpp"
@@ -106,7 +119,10 @@ int usage() {
                "[--max-bugs K] [--budget-seconds T]\n"
             << "             [--sabotage none|rule-mismatch|drop-fault]\n"
             << "  mmdiag_cli fuzz --replay FILE "
-               "[--sabotage none|rule-mismatch|drop-fault]\n";
+               "[--sabotage none|rule-mismatch|drop-fault]\n"
+            << "  mmdiag_cli churn --stream FILE [--table-oracle]\n"
+            << "  mmdiag_cli churn <spec...> [--events N] [--seed S] "
+               "[--delta D] [--out FILE]\n";
   return 2;
 }
 
@@ -532,8 +548,8 @@ int cmd_diagnose(const std::vector<std::string>& args) {
   std::cout << "diagnosed " << result.faults.size() << " fault(s) in "
             << result.diagnose_seconds * 1e3 << " ms solve + "
             << cal->build_seconds * 1e3 << " ms calibration ("
-            << result.lookups << " look-ups"
-            << (verify ? ", verified" : "") << "):\n";
+            << result.lookups << " look-ups, " << result.shards_used
+            << " shard(s)" << (verify ? ", verified" : "") << "):\n";
   for (const Node v : result.faults) {
     std::cout << "  " << v << "  [" << cal->topology->node_label(v) << "]\n";
   }
@@ -875,6 +891,105 @@ int cmd_fuzz(const std::vector<std::string>& args) {
   return 1;
 }
 
+int cmd_churn(const std::vector<std::string>& args) {
+  std::string stream_path, out_path, spec;
+  std::size_t events = 32;
+  std::uint64_t seed = 1;
+  unsigned delta = 0;
+  bool table_oracle = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--stream" && i + 1 < args.size()) {
+      stream_path = args[++i];
+    } else if (args[i] == "--out" && i + 1 < args.size()) {
+      out_path = args[++i];
+    } else if (args[i] == "--table-oracle") {
+      table_oracle = true;
+    } else if (args[i] == "--events" && i + 1 < args.size()) {
+      if (!parse_flag_value("--events", args[++i], std::uint64_t{1'000'000},
+                            events)) {
+        return usage();
+      }
+    } else if (args[i] == "--seed" && i + 1 < args.size()) {
+      if (!parse_flag_value("--seed", args[++i],
+                            std::numeric_limits<std::uint64_t>::max(), seed)) {
+        return usage();
+      }
+    } else if (args[i] == "--delta" && i + 1 < args.size()) {
+      if (!parse_flag_value("--delta", args[++i], std::uint64_t{1'000},
+                            delta)) {
+        return usage();
+      }
+    } else {
+      if (!spec.empty()) spec += ' ';
+      spec += args[i];
+    }
+  }
+  // Exactly one mode: replay a stream file, or generate one for a spec.
+  if (stream_path.empty() == spec.empty()) return usage();
+
+  EngineOptions engine_options;
+  engine_options.threads = 1;
+  DiagnosisEngine engine(engine_options);
+
+  if (!stream_path.empty()) {
+    std::ifstream in(stream_path);
+    if (!in) {
+      std::cerr << "cannot read " << stream_path << "\n";
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const ChurnStream stream = parse_churn_stream(buffer.str());
+    ChurnHarnessOptions harness_options;
+    harness_options.use_table_oracle = table_oracle;
+    Timer timer;
+    const ChurnHarnessReport report =
+        run_churn_stream(engine, stream, harness_options);
+    std::cout << "churn replay of " << stream.spec << ": " << report.events
+              << " event(s) in " << timer.millis() << " ms ("
+              << report.topology_events << " topology, "
+              << report.diagnose_events << " diagnose, "
+              << report.delta_events << " delta, " << report.expected_errors
+              << " expected-error)\n";
+    std::cout << "  degraded components seen " << report.degraded_components_seen
+              << ", empty " << report.empty_components_seen
+              << ", cache reuses " << report.cache_reuses << "\n";
+    std::cout << "  recertified " << report.warm_recert_components
+              << " component(s) incrementally vs " << report.cold_recert_components
+              << " under cold recalibration\n";
+    if (report.ok()) {
+      std::cout << "warm incremental answers bit-identical to cold "
+                   "recalibration throughout\n";
+      return 0;
+    }
+    for (const std::string& d : report.divergences) {
+      std::cerr << "DIVERGENCE " << d << "\n";
+    }
+    return 1;
+  }
+
+  ChurnStreamConfig config;
+  config.spec = spec;
+  config.delta = delta;
+  config.seed = seed;
+  config.events = events;
+  const ChurnStream stream = generate_churn_stream(engine, config);
+  const std::string text = format_churn_stream(stream);
+  if (out_path.empty()) {
+    std::cout << text;
+    return 0;
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 2;
+  }
+  out << text;
+  std::cout << "wrote " << stream.events.size() << " event(s) for "
+            << stream.spec << " to " << out_path << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -887,6 +1002,7 @@ int main(int argc, char** argv) {
     if (command == "serve") return cmd_serve(args);
     if (command == "info") return cmd_info(args);
     if (command == "fuzz") return cmd_fuzz(args);
+    if (command == "churn") return cmd_churn(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;

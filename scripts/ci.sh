@@ -218,6 +218,49 @@ else
   echo "shard smoke: bench_shard not built, skipped"
 fi
 
+if [ -x bench/bench_churn ]; then
+  # The churn smoke must show the warm incremental path holding bit-identity
+  # against cold full recalibration on hostile generated streams (expected
+  # errors included), and the steady-state solve cache actually serving:
+  # timed-repeat rows spend zero warm look-ups while cold re-solves every
+  # round (the binary itself exits non-zero on divergence; the JSON fields
+  # are re-checked here so a reporting bug cannot mask one).
+  ./bench/bench_churn --smoke --out BENCH_churn.json
+  if command -v python3 >/dev/null; then
+    python3 - <<'PY'
+import json
+with open("BENCH_churn.json") as f:
+    report = json.load(f)
+assert report["all_identical"], "a warm churn answer diverged from cold"
+rows = report["results"]
+assert rows, "BENCH_churn.json has no results"
+harness = [r for r in rows if r["mode"] == "harness"]
+assert harness, "no harness rows: no churn stream was replayed"
+assert any(r["oracle"] == "table" for r in harness), "no table-oracle row"
+for r in harness:
+    assert r["identical_warm_cold"], f"warm diverged from cold: {r}"
+    assert r["divergences"] == 0, f"harness reported divergences: {r}"
+    assert r["expected_errors"] > 0, f"hostile events never fired: {r}"
+    assert r["topology_events"] > 0 and r["diagnose_events"] > 0, \
+        f"degenerate stream: {r}"
+    assert r["warm_recert_components"] < r["cold_recert_components"], \
+        f"incremental recertification did no less work than cold: {r}"
+repeat = [r for r in rows if r["mode"] == "timed-repeat"]
+assert repeat, "no timed-repeat rows: the solve cache was never measured"
+for r in repeat:
+    assert r["identical_warm_cold"], f"cached answer diverged from cold: {r}"
+    assert r["warm_lookups"] == 0, f"steady-state warm path spent look-ups: {r}"
+    assert r["cold_lookups"] > 0, f"degenerate cold reference: {r}"
+print(f"churn smoke: {len(harness)} harness rows bit-identical warm vs cold, "
+      "steady-state cache serves with zero look-ups")
+PY
+  else
+    echo "churn smoke: python3 unavailable, JSON validation skipped"
+  fi
+else
+  echo "churn smoke: bench_churn not built, skipped"
+fi
+
 # hardware_threads must be present in every bench report that carries
 # speed numbers, so a reader can tell a 1-thread CI container's timings
 # from a workstation's (the sharded speedup rows are meaningless without
@@ -225,7 +268,8 @@ fi
 if command -v python3 >/dev/null; then
   python3 - <<'PY'
 import json
-for name in ("BENCH_scale.json", "BENCH_models.json", "BENCH_shard.json"):
+for name in ("BENCH_scale.json", "BENCH_models.json", "BENCH_shard.json",
+              "BENCH_churn.json"):
     try:
         with open(name) as f:
             report = json.load(f)
@@ -242,8 +286,10 @@ fi
 # -fsanitize=undefined instead of silently wrapping, and the directed-model
 # suites ride along so PMC/BGM hash and bit plumbing get the same scrutiny.
 # shard_test rides along too: the sharded engine's frontier bitmaps, halo
-# slot maps and merge cursors are all word/index arithmetic. Only the
-# suites that exercise those kernels are built, so the pass stays cheap.
+# slot maps and merge cursors are all word/index arithmetic. churn_test as
+# well: the overlay's dead-edge masks, the masked oracle reads and the
+# changed-row bitsets are the same kind of shift-heavy word plumbing. Only
+# the suites that exercise those kernels are built, so the pass stays cheap.
 cd ..
 cmake -B build-ubsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -251,7 +297,7 @@ cmake -B build-ubsan -S . \
   "$@"
 cmake --build build-ubsan -j --target util_test syndrome_test \
   dispatch_equiv_test model_test directed_solver_test model_fuzz_test \
-  shard_test
+  shard_test churn_test
 ./build-ubsan/tests/util_test
 ./build-ubsan/tests/syndrome_test
 ./build-ubsan/tests/dispatch_equiv_test
@@ -259,8 +305,9 @@ cmake --build build-ubsan -j --target util_test syndrome_test \
 ./build-ubsan/tests/directed_solver_test
 ./build-ubsan/tests/model_fuzz_test
 ./build-ubsan/tests/shard_test
-echo "ubsan smoke: word-level kernel, directed-model and shard suites clean" \
-     "under -fsanitize=undefined"
+./build-ubsan/tests/churn_test
+echo "ubsan smoke: word-level kernel, directed-model, shard and churn" \
+     "suites clean under -fsanitize=undefined"
 cd build
 
 if [ -x examples/mmdiag_cli ]; then

@@ -1,0 +1,81 @@
+// Churn streams — replayable fault-injection scripts for the churn engine.
+//
+// A stream is a deterministic interleaving of topology deltas (remove/repair
+// of nodes and edges), full diagnose requests, and syndrome-delta requests,
+// with hostile events mixed in: double-remove, repair-of-live-node,
+// out-of-range ids (all marked `!` = "must be rejected, state unchanged")
+// and the removal of an entire component (which must degrade to the
+// quiescent empty-component answer, not fail the topology). The harness
+// replays a stream twice per step — warm incremental vs cold full
+// recalibration — and reports any divergence; the generator derives streams
+// from a seed so the fuzzer, the CLI and the bench all exercise the same
+// distribution.
+//
+// Text format (one event per line, `#` comments, `!` prefixes an event that
+// must throw std::invalid_argument):
+//
+//   mmdiag-churn v1
+//   spec hypercube 6
+//   delta 0
+//   seed 42
+//   remove-node 12
+//   !remove-node 12
+//   remove-edge 3 7
+//   diagnose 3 19
+//   diagnose-delta 3 19 40
+//   end
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "churn/topology_overlay.hpp"
+#include "engine/engine.hpp"
+#include "util/types.hpp"
+
+namespace mmdiag {
+
+struct ChurnEvent {
+  enum class Kind : std::uint8_t {
+    kTopology,       // one ChurnDelta
+    kDiagnose,       // full solve of the fault list
+    kDiagnoseDelta,  // syndrome-delta solve relative to the previous list
+  };
+  Kind kind = Kind::kTopology;
+  ChurnDelta delta;          // kTopology only
+  bool expect_error = false; // kTopology only: apply() must reject this
+  std::vector<Node> faults;  // kDiagnose / kDiagnoseDelta only
+};
+
+struct ChurnStream {
+  std::string spec;
+  unsigned delta = 0;     // fault bound override (0 = topology default)
+  std::uint64_t seed = 0; // faulty-behavior seed (fixed for the stream)
+  std::vector<ChurnEvent> events;
+};
+
+/// Render to the text format above (parse round-trips exactly).
+[[nodiscard]] std::string format_churn_stream(const ChurnStream& stream);
+
+/// Parse the text format; throws std::invalid_argument with a line number
+/// on malformed input.
+[[nodiscard]] ChurnStream parse_churn_stream(const std::string& text);
+
+struct ChurnStreamConfig {
+  std::string spec;
+  unsigned delta = 0;        // fault bound override (0 = topology default)
+  std::uint64_t seed = 1;    // generator seed (also the stream's seed)
+  std::size_t events = 32;   // approximate event count (hostile sequences
+                             // may overshoot by a component's size)
+  bool hostile = true;       // inject expected-error ops + component kill
+};
+
+/// Deterministically generate a valid stream: every topology event is legal
+/// against a shadow overlay at the point it is emitted (except the `!`
+/// events, which are deliberately illegal). Pulls the spec's calibration
+/// through `engine` to know adjacency and component membership.
+[[nodiscard]] ChurnStream generate_churn_stream(DiagnosisEngine& engine,
+                                                const ChurnStreamConfig& config);
+
+}  // namespace mmdiag

@@ -153,6 +153,7 @@ std::shared_ptr<const Calibration> DiagnosisEngine::get_or_build(
       index_.erase(lru_.back().key);
       lru_.pop_back();
       ++counters_.evictions;  // holders keep the evicted bundle alive
+      ++counters_.evictions_lru;
     }
   }
   if (reused) *reused = false;
@@ -214,10 +215,13 @@ DiagnosisResult DiagnosisEngine::diagnose(const std::string& spec,
       ShardedDiagnoser engine(cal->topology, cal->partition, sharded);
       const double setup_seconds = setup_timer.seconds();
       DiagnosisResult result = engine.diagnose(table->syndrome());
+      result.shards_used = shards;
       result.calibration_reused = reused;
       result.setup_seconds = setup_seconds;
       return result;
     }
+    // Falling through leaves shards_used = 1: the fallback to a monolithic
+    // solve is visible in the result, never silent.
   }
 
   const std::unique_ptr<Diagnoser> diagnoser =
@@ -509,6 +513,38 @@ void DiagnosisEngine::prune_stale(
   std::erase_if(scratch, [&](const auto& kv) {
     return resident.find(kv.first) == resident.end();
   });
+}
+
+std::size_t DiagnosisEngine::invalidate(const std::string& spec) {
+  // Canonicalise through the registry so "hypercube  07" retires the
+  // "hypercube 7" entries; unknown specs throw rather than silently
+  // matching nothing.
+  const std::string stem = make_topology_from_spec(spec)->spec();
+  const std::string prefix = stem + "|";
+  std::size_t dropped = 0;
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key == stem || it->key.rfind(prefix, 0) == 0) {
+      index_.erase(it->key);
+      it = lru_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  counters_.evictions += dropped;
+  counters_.evictions_explicit += dropped;
+  return dropped;
+}
+
+std::size_t DiagnosisEngine::invalidate_all() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t dropped = lru_.size();
+  index_.clear();
+  lru_.clear();
+  counters_.evictions += dropped;
+  counters_.evictions_explicit += dropped;
+  return dropped;
 }
 
 EngineCounters DiagnosisEngine::counters() const {

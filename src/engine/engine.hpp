@@ -83,7 +83,9 @@ inline constexpr std::size_t kShardAutoNodeThreshold = std::size_t{1} << 20;
 struct EngineCounters {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
-  std::uint64_t evictions = 0;
+  std::uint64_t evictions = 0;  // total = evictions_lru + evictions_explicit
+  std::uint64_t evictions_lru = 0;       // capacity pressure
+  std::uint64_t evictions_explicit = 0;  // invalidate()/invalidate_all()
   std::size_t entries = 0;
 };
 
@@ -172,6 +174,18 @@ class DiagnosisEngine {
   /// Same for a whole BatchDiagnoser (threads = 0 means hardware).
   [[nodiscard]] std::unique_ptr<BatchDiagnoser> make_batch_diagnoser(
       const std::string& spec, unsigned threads = 0);
+
+  /// Explicitly retire every cached calibration of `spec` (all delta/rule/
+  /// model variants — the key stem is the canonical spec). Returns how many
+  /// entries were dropped; they count as explicit evictions, never LRU.
+  /// In-flight holders keep their bundles alive (shared_ptr); the next
+  /// request for the spec rebuilds. Throws std::invalid_argument on a spec
+  /// the registry cannot parse. This is how churn retires calibrations
+  /// whose topology has drifted too far from the base.
+  std::size_t invalidate(const std::string& spec);
+
+  /// Drop every cached calibration (explicit evictions). Returns the count.
+  std::size_t invalidate_all();
 
   [[nodiscard]] EngineCounters counters() const;
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }

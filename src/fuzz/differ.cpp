@@ -6,6 +6,8 @@
 
 #include "baselines/directed_exact.hpp"
 #include "baselines/exact_solver.hpp"
+#include "churn/churn_stream.hpp"
+#include "churn/harness.hpp"
 #include "core/batch_diagnoser.hpp"
 #include "core/diagnoser.hpp"
 #include "core/directed_diagnoser.hpp"
@@ -560,6 +562,27 @@ DiffReport run_differential(FuzzContext& ctx, const FuzzCase& c,
       report.divergences.push_back(
           {"cohort-bitsliced", std::string("driver threw: ") + e.what()});
     }
+  }
+
+  // Churn voice: derive a short hostile churn stream from the case seeds
+  // and replay it — every warm incremental answer (certification reuse +
+  // solve cache) must stay bit-identical to cold full recalibration under
+  // the same remove/repair/diagnose interleaving.
+  try {
+    ChurnStreamConfig churn_config;
+    churn_config.spec = c.spec;
+    churn_config.delta = c.delta;
+    churn_config.seed = mix64(c.inject_seed, c.behavior_seed);
+    churn_config.events = 12;
+    const ChurnStream stream =
+        generate_churn_stream(ctx.engine(), churn_config);
+    const ChurnHarnessReport churn = run_churn_stream(ctx.engine(), stream);
+    for (const std::string& d : churn.divergences) {
+      report.divergences.push_back({"churn-incremental", d});
+    }
+  } catch (const std::exception& e) {
+    report.divergences.push_back(
+        {"churn-incremental", std::string("harness threw: ") + e.what()});
   }
 
   // Deliberate breakage, for testing the fuzzer itself.

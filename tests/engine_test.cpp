@@ -8,6 +8,7 @@
 #include <memory>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "core/diagnoser.hpp"
@@ -395,6 +396,101 @@ TEST(DiagnosisEngine, AutoModeKeepsSmallInstancesOnCsr) {
   EXPECT_TRUE(resolve_implicit_mode(GraphMode::kAuto, big));
   big.degree = 65;  // past the implicit ceiling: stays CSR even at scale
   EXPECT_FALSE(resolve_implicit_mode(GraphMode::kAuto, big));
+}
+
+// ---- Explicit invalidation -------------------------------------------------
+
+TEST(DiagnosisEngine, InvalidateRetiresEveryVariantOfASpec) {
+  DiagnosisEngine engine;
+  // Two calibration variants of one spec (distinct cache keys) plus an
+  // unrelated spec that must survive the targeted invalidation.
+  (void)engine.calibration("hypercube 5", 3, ParentRule::kSpread, true);
+  (void)engine.calibration("hypercube 5", 3, ParentRule::kSpread, false);
+  (void)engine.calibration("star 4", 3, ParentRule::kSpread);
+  EXPECT_EQ(engine.counters().entries, 3u);
+
+  // Canonicalisation: an odd spelling retires the same stem, all variants.
+  EXPECT_EQ(engine.invalidate(" hypercube  05"), 2u);
+  EngineCounters counters = engine.counters();
+  EXPECT_EQ(counters.entries, 1u);
+  EXPECT_EQ(counters.evictions_explicit, 2u);
+  EXPECT_EQ(counters.evictions_lru, 0u);
+  EXPECT_EQ(counters.evictions, 2u);
+
+  // Unknown specs throw instead of silently matching nothing.
+  EXPECT_THROW((void)engine.invalidate("not_a_topology 3"),
+               std::invalid_argument);
+
+  EXPECT_EQ(engine.invalidate_all(), 1u);
+  counters = engine.counters();
+  EXPECT_EQ(counters.entries, 0u);
+  EXPECT_EQ(counters.evictions_explicit, 3u);
+
+  // The next request is a plain rebuild, not an error.
+  EXPECT_NE(engine.calibration("hypercube 5", 3, ParentRule::kSpread), nullptr);
+}
+
+TEST(DiagnosisEngine, EvictionCountersSplitLruFromExplicit) {
+  EngineOptions options;
+  options.cache_capacity = 1;
+  DiagnosisEngine engine(options);
+  (void)engine.calibration("hypercube 5", 3, ParentRule::kSpread);
+  (void)engine.calibration("star 4", 3, ParentRule::kSpread);  // LRU evicts
+  EngineCounters counters = engine.counters();
+  EXPECT_EQ(counters.evictions_lru, 1u);
+  EXPECT_EQ(counters.evictions_explicit, 0u);
+
+  EXPECT_EQ(engine.invalidate_all(), 1u);
+  counters = engine.counters();
+  EXPECT_EQ(counters.evictions_lru, 1u);
+  EXPECT_EQ(counters.evictions_explicit, 1u);
+  EXPECT_EQ(counters.evictions,
+            counters.evictions_lru + counters.evictions_explicit);
+  EXPECT_EQ(counters.entries, 0u);
+}
+
+TEST(DiagnosisEngine, InvalidationRacingServeStaysBitIdentical) {
+  // serve() under a hammering invalidate_all(): eviction only decides where
+  // calibrations live (shared_ptr holders keep evicted bundles alive), so
+  // every served result must stay bit-identical to the direct diagnosis.
+  EngineOptions options;
+  options.threads = 2;
+  options.diagnoser.delta = 3;
+  DiagnosisEngine engine(options);
+  const std::shared_ptr<const Calibration> cal =
+      engine.calibration("hypercube 5");
+  const std::size_t n = cal->graph.num_nodes();
+  Rng rng(0xCAFE);
+  const FaultSet faults(n, inject_uniform(n, 2, rng));
+
+  std::vector<std::unique_ptr<LazyOracle>> oracles;
+  std::vector<EngineRequest> requests;
+  for (int i = 0; i < 12; ++i) {
+    oracles.push_back(std::make_unique<LazyOracle>(
+        cal->graph, faults, FaultyBehavior::kRandom, 9));
+    requests.push_back({"hypercube 5", oracles.back().get(), nullptr, kNoNode});
+  }
+  Diagnoser direct(cal->graph, cal->partition, options.diagnoser);
+  const LazyOracle reference_oracle(cal->graph, faults, FaultyBehavior::kRandom,
+                                    9);
+  const DiagnosisResult expected = direct.diagnose(reference_oracle);
+
+  std::atomic<bool> stop{false};
+  std::thread invalidator([&] {
+    while (!stop.load()) {
+      (void)engine.invalidate_all();
+    }
+  });
+  for (int round = 0; round < 8; ++round) {
+    const std::vector<DiagnosisResult> results = engine.serve(requests);
+    ASSERT_EQ(results.size(), requests.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      expect_bit_identical(expected, results[i], i);
+    }
+  }
+  stop.store(true);
+  invalidator.join();
+  EXPECT_GT(engine.counters().evictions_explicit, 0u);
 }
 
 TEST(ParentRuleNames, RoundTripAndAliases) {

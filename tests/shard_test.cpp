@@ -439,5 +439,44 @@ TEST(ShardedDiagnoser, EngineExplicitShardsPropagateOptionErrors) {
                std::invalid_argument);
 }
 
+TEST(ShardedDiagnoser, ShardsUsedReportsRoutingAndFallbackVisibly) {
+  const std::string spec = "hypercube 8";
+  EngineOptions options;
+  options.diagnoser.delta = 4;
+  options.diagnoser.final_rule = ParentRule::kSpread;
+  options.shards = 4;
+  options.threads = 2;
+  DiagnosisEngine engine(options);
+  const std::shared_ptr<const Calibration> cal = engine.calibration(spec);
+  const std::size_t n = cal->graph.num_nodes();
+  Rng rng(0x51AD);
+  const FaultSet faults(n, inject_uniform(n, 2, rng));
+  const Syndrome syndrome =
+      generate_syndrome(cal->graph, faults, FaultyBehavior::kRandom, 11);
+
+  // A sharded table request names exactly the owner shards it ran on.
+  const TableOracle table(cal->graph, syndrome);
+  EXPECT_EQ(engine.diagnose(spec, table).shards_used, 4u);
+
+  // A lazy oracle cannot be re-partitioned: the request falls back to the
+  // monolithic solve, and the fallback must be visible, never silent.
+  const LazyOracle lazy(cal->graph, faults, FaultyBehavior::kRandom, 11);
+  EXPECT_EQ(engine.diagnose(spec, lazy).shards_used, 1u);
+
+  // A monolithic engine never claims shards.
+  EngineOptions mono_options = options;
+  mono_options.shards = 1;
+  DiagnosisEngine mono_engine(mono_options);
+  const TableOracle mono_table(cal->graph, syndrome);
+  EXPECT_EQ(mono_engine.diagnose(spec, mono_table).shards_used, 1u);
+
+  // Auto mode below the node threshold resolves to monolithic — and says so.
+  EngineOptions auto_options = options;
+  auto_options.shards = 0;
+  DiagnosisEngine auto_engine(auto_options);
+  const TableOracle auto_table(cal->graph, syndrome);
+  EXPECT_EQ(auto_engine.diagnose(spec, auto_table).shards_used, 1u);
+}
+
 }  // namespace
 }  // namespace mmdiag
